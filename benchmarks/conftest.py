@@ -1,0 +1,43 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures and prints
+the rows it would plot.  Benchmarks run each experiment exactly once
+(``benchmark.pedantic(rounds=1)``): the experiments are deterministic, and
+the numbers of interest are the *printed tables*, not the wall time — the
+wall time pytest-benchmark records is simply the cost of regenerating the
+artefact.
+
+Scale: the default configurations below are sized so the whole suite
+finishes in tens of minutes on a laptop.  The paper-scale run (50/8 clips,
+20 s each) uses the same entry points with a larger
+:class:`~repro.experiments.ExperimentConfig`.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run
+
+
+#: Benchmark-scale experiment configurations, per figure.
+CONFIGS = {
+    "table1": ExperimentConfig(n_clips=4, n_frames=24),
+    "fig06": ExperimentConfig(n_clips=3, n_frames=60),
+    "fig07": ExperimentConfig(n_clips=3, n_frames=40),
+    "fig09": ExperimentConfig(n_clips=1, n_frames=24),
+    "fig11": ExperimentConfig(n_clips=1, n_frames=24),
+    "fig12": ExperimentConfig(n_clips=2, n_frames=24),
+    "fig13": ExperimentConfig(n_clips=1, n_frames=64),
+    "fig14": ExperimentConfig(n_clips=2, n_frames=72),
+    "fig16": ExperimentConfig(n_clips=2, n_frames=30),
+    "ablation": ExperimentConfig(n_clips=1, n_frames=24),
+}

@@ -1,0 +1,25 @@
+"""Ablation bench — value of DiVE's individual design choices.
+
+Not a paper figure; DESIGN.md calls these out as the choices worth
+isolating (rotation removal, FOE noise filter, cluster merging, and this
+reproduction's temporal union).
+"""
+
+from conftest import CONFIGS
+
+from repro.experiments import print_table, run_ablation
+
+
+def test_ablation_design_choices(bench_once):
+    rows = bench_once(run_ablation, CONFIGS["ablation"])
+    print_table(
+        ["variant", "mAP", "RT (ms)"],
+        [[r.variant, r.map, r.response_time * 1000] for r in rows],
+        title="Ablation — DiVE pipeline variants @2 Mbps (nuScenes-like)",
+    )
+    by = {r.variant: r for r in rows}
+    # The full pipeline should not be materially worse than any ablation —
+    # each stage pays its way (or at worst is neutral at this scale).
+    for name, row in by.items():
+        if name != "full":
+            assert by["full"].map >= row.map - 0.06, f"{name} unexpectedly beats full pipeline"

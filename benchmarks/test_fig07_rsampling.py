@@ -1,0 +1,55 @@
+"""Fig 7 — efficiency of R-sampling, and Fig 10 — effect of k.
+
+Both studies share the per-frame motion fields of the KITTI-like clips
+(computed once, module-scoped), exactly as they would share the encoder's
+MV output on a real agent.
+"""
+
+import numpy as np
+import pytest
+from conftest import CONFIGS
+
+from repro.experiments import collect_fields, print_table, run_fig07, run_fig10
+
+
+@pytest.fixture(scope="module")
+def fields():
+    return collect_fields(CONFIGS["fig07"])
+
+
+def test_fig07_rsampling_accuracy(bench_once, fields):
+    study = bench_once(run_fig07, CONFIGS["fig07"], data=fields)
+    rows = []
+    for name in ("r30", "rand30", "rand500"):
+        ex, ey = study.errors_x[name], study.errors_y[name]
+        rows.append([name, float(np.median(ex)), float(np.median(ey)), float(np.percentile(ey, 90))])
+    print_table(
+        ["strategy", "med |err w_x| (rad/s)", "med |err w_y|", "p90 |err w_y|"],
+        rows,
+        title="Fig 7a/b — rotation-speed estimation error by sampling strategy",
+    )
+    times, est, gt = study.series
+    print_table(
+        ["t", "w_y estimated", "w_y truth"],
+        [[t, e, g] for t, e, g in list(zip(times, est, gt))[:: max(len(times) // 15, 1)]],
+        title="Fig 7c — estimated vs true w_y over one clip (subsampled)",
+    )
+    med = {n: float(np.median(study.errors_y[n])) for n in study.errors_y}
+    # Paper shape: R-sampling with 30 points is at least as accurate as
+    # random sampling with 30, and competitive with random-500.
+    assert med["r30"] <= med["rand30"] * 1.05
+    assert med["r30"] <= med["rand500"] * 1.75
+
+
+def test_fig10_k_sweep(bench_once, fields):
+    ks = list(range(10, 101, 10))
+    sweep = bench_once(run_fig10, CONFIGS["fig07"], ks=ks, data=fields)
+    print_table(
+        ["k", "median |err w| (rad/s)", "estimation time (ms)"],
+        [[k, e, t * 1000] for k, e, t in zip(sweep.ks, sweep.errors, sweep.times)],
+        title="Fig 10 — rotation error and RANSAC time vs k",
+    )
+    # Paper shape: error shrinks (then converges) as k grows; time grows.
+    first, last = np.mean(sweep.errors[:3]), np.mean(sweep.errors[-3:])
+    assert last <= first * 1.1
+    assert np.mean(sweep.times[-3:]) >= np.mean(sweep.times[:3]) * 0.9

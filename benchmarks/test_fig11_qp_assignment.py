@@ -1,0 +1,32 @@
+"""Fig 11 — effectiveness of Optimal QP Assignment (adaptive delta)."""
+
+import numpy as np
+from conftest import CONFIGS
+
+from repro.experiments import print_table, run_fig11
+
+
+def test_fig11_qp_assignment(bench_once):
+    rows = bench_once(run_fig11, CONFIGS["fig11"])
+    for dataset in sorted({r.dataset for r in rows}):
+        sub = [r for r in rows if r.dataset == dataset]
+        deltas = sorted({r.delta for r in sub}, key=lambda d: (d != "adaptive", d))
+        bandwidths = sorted({r.bandwidth_mbps for r in sub})
+        table = []
+        for delta in deltas:
+            cells = {r.bandwidth_mbps: r.map for r in sub if r.delta == delta}
+            table.append([delta] + [cells[b] for b in bandwidths])
+        print_table(
+            ["delta \\ Mbps"] + [f"{b:g}" for b in bandwidths],
+            table,
+            title=f"Fig 11 — mAP by delta policy and bandwidth ({dataset})",
+        )
+        # Paper shape: adaptive delta achieves the highest (or tied) mAP
+        # under every bandwidth, and does not lose to delta=5 at 1 Mbps.
+        adaptive = {r.bandwidth_mbps: r.map for r in sub if r.delta == "adaptive"}
+        for b in bandwidths:
+            best_fixed = max(r.map for r in sub if r.delta != "adaptive" and r.bandwidth_mbps == b)
+            assert adaptive[b] >= best_fixed - 0.03
+        low = min(bandwidths)
+        fixed5_low = next(r.map for r in sub if r.delta == "5" and r.bandwidth_mbps == low)
+        assert adaptive[low] >= fixed5_low - 0.01

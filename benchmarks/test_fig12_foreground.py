@@ -1,0 +1,25 @@
+"""Fig 12 — effectiveness of Foreground Extraction (CRF background sweep)."""
+
+from conftest import CONFIGS
+
+from repro.experiments import print_table, run_fig12
+
+
+def test_fig12_foreground_extraction(bench_once):
+    rows = bench_once(run_fig12, CONFIGS["fig12"])
+    print_table(
+        ["dataset", "background QP", "AP car", "AP pedestrian"],
+        [[r.dataset, r.background_qp, r.ap_car, r.ap_pedestrian] for r in rows],
+        title="Fig 12 — AP vs background QP (foreground pinned at QP 0)",
+    )
+    for dataset in {r.dataset for r in rows}:
+        sub = sorted((r for r in rows if r.dataset == dataset), key=lambda r: r.background_qp)
+        # Paper shape: AP decays slowly; essentially lossless through QP 20
+        # and still high at QP 36.
+        at = {r.background_qp: r for r in sub}
+        assert at[20.0].ap_car > 0.9
+        assert at[20.0].ap_pedestrian > 0.85
+        assert at[36.0].ap_car > 0.75
+        assert at[36.0].ap_pedestrian > 0.6
+        # Monotone-ish decay (allow small noise).
+        assert at[36.0].ap_car <= at[4.0].ap_car + 0.02

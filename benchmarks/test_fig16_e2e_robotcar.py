@@ -1,0 +1,50 @@
+"""Fig 16 — end-to-end comparison of all schemes on RobotCar-like clips."""
+
+from conftest import CONFIGS
+
+from repro.experiments import print_table, run_fig16_17
+
+
+def check_e2e_shape(rows, dataset):
+    """The paper's end-to-end claims, asserted on one dataset's rows."""
+    bandwidths = sorted({r.bandwidth_mbps for r in rows})
+    for b in bandwidths:
+        at = {r.scheme: r for r in rows if r.bandwidth_mbps == b}
+        # DiVE achieves the highest (or statistically tied) mAP everywhere.
+        assert at["DiVE"].map >= max(v.map for v in at.values()) - 0.03
+        # O3 and EAAR trail DiVE clearly.
+        assert at["DiVE"].map > at["O3"].map + 0.05
+        assert at["DiVE"].map > at["EAAR"].map + 0.05
+        # DDS pays two uplink trips: slower than DiVE.
+        assert at["DDS"].response_time > at["DiVE"].response_time
+    # The DiVE-over-DDS margin is largest at the lowest bandwidth.
+    lo, hi = bandwidths[0], bandwidths[-1]
+    at_lo = {r.scheme: r for r in rows if r.bandwidth_mbps == lo}
+    at_hi = {r.scheme: r for r in rows if r.bandwidth_mbps == hi}
+    assert (at_lo["DiVE"].map - at_lo["DDS"].map) >= (at_hi["DiVE"].map - at_hi["DDS"].map) - 0.02
+
+
+def print_e2e(rows, title):
+    print_table(
+        ["scheme", "Mbps", "mAP", "AP car", "AP ped", "RT (ms)", "kB sent", "drops"],
+        [
+            [
+                r.scheme,
+                r.bandwidth_mbps,
+                r.map,
+                r.ap_car,
+                r.ap_pedestrian,
+                r.response_time * 1000,
+                r.total_bytes / 1000,
+                r.drop_rate,
+            ]
+            for r in sorted(rows, key=lambda r: (r.bandwidth_mbps, r.scheme))
+        ],
+        title=title,
+    )
+
+
+def test_fig16_end_to_end_robotcar(bench_once):
+    rows = bench_once(run_fig16_17, CONFIGS["fig16"], datasets=("robotcar",))
+    print_e2e(rows, "Fig 16 — end-to-end comparison on RobotCar-like clips")
+    check_e2e_shape(rows, "robotcar")

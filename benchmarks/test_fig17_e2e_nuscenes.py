@@ -1,0 +1,12 @@
+"""Fig 17 — end-to-end comparison of all schemes on nuScenes-like clips."""
+
+from conftest import CONFIGS
+from test_fig16_e2e_robotcar import check_e2e_shape, print_e2e
+
+from repro.experiments import run_fig16_17
+
+
+def test_fig17_end_to_end_nuscenes(bench_once):
+    rows = bench_once(run_fig16_17, CONFIGS["fig16"], datasets=("nuscenes",))
+    print_e2e(rows, "Fig 17 — end-to-end comparison on nuScenes-like clips")
+    check_e2e_shape(rows, "nuscenes")

@@ -1,0 +1,31 @@
+"""Extension bench — multi-agent edge-server scalability.
+
+Not a paper figure; quantifies the system model's "scalable to many
+agents" requirement: response time per scheme as N agents share one
+inference worker.
+"""
+
+from conftest import CONFIGS
+
+from repro.experiments import print_table, run_scalability
+
+
+def test_scalability_shared_edge(bench_once):
+    rows = bench_once(
+        run_scalability,
+        CONFIGS["ablation"],
+        agent_counts=(1, 2, 4, 8),
+        workers=1,
+    )
+    print_table(
+        ["scheme", "agents", "RT (ms)", "inference req/s"],
+        [[r.scheme, r.n_agents, r.response_time * 1000, r.inference_load] for r in rows],
+        title="Scalability — response time vs concurrent agents (1 inference worker)",
+    )
+    by = {(r.scheme, r.n_agents): r for r in rows}
+    schemes = {r.scheme for r in rows}
+    for s in schemes:
+        # Response time is non-decreasing in the number of agents.
+        assert by[(s, 8)].response_time >= by[(s, 1)].response_time - 1e-6
+    # Key-frame schemes offer less inference load than every-frame DiVE.
+    assert by[("O3", 8)].inference_load < by[("DiVE", 8)].inference_load

@@ -1,0 +1,21 @@
+"""Table I — dataset summary (FPS, videos, frames, cars, pedestrians)."""
+
+from conftest import CONFIGS
+
+from repro.experiments import print_table, run_table1
+
+
+def test_table1_dataset_summary(bench_once):
+    rows = bench_once(run_table1, CONFIGS["table1"])
+    print_table(
+        ["dataset", "fps", "videos", "frames", "cars", "peds", "cars/frame", "peds/frame"],
+        [
+            [r.dataset, r.fps, r.videos, r.frames, r.cars, r.pedestrians, r.cars_per_frame, r.pedestrians_per_frame]
+            for r in rows
+        ],
+        title="Table I — dataset summary (synthetic stand-ins)",
+    )
+    by = {r.dataset: r for r in rows}
+    # Paper shape: nuScenes is car-heavy, RobotCar pedestrian-heavy.
+    assert by["nuscenes"].cars_per_frame > by["nuscenes"].pedestrians_per_frame
+    assert by["robotcar"].pedestrians_per_frame > by["robotcar"].cars_per_frame

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Build a custom world with the public API and inspect DiVE's internals.
+
+Shows the lower-level building blocks: hand-placed scene objects, a
+scripted trajectory (drive - stop at a light - turn), per-frame foreground
+extraction, and the quality split that differential encoding produces —
+foreground vs background PSNR of the frames actually sent.
+
+Run:  python examples/custom_scene.py
+"""
+
+import numpy as np
+
+from repro.codec import EncoderConfig, VideoEncoder, estimate_motion, region_psnr
+from repro.core import EgoMotionJudge, ForegroundExtractor, QPAllocator, estimate_rotation, remove_rotation
+from repro.geometry import CameraIntrinsics
+from repro.world import (
+    EgoTrajectory,
+    Scene,
+    StopSegment,
+    StraightSegment,
+    TurnSegment,
+    building,
+    moving_car,
+    parked_car,
+    pedestrian,
+)
+from repro.world.renderer import Renderer
+from repro.world.trajectory import Segment
+
+
+def build_scene() -> Scene:
+    # Drive 3 s, brake, wait at a light, pull away and turn right.
+    trajectory = EgoTrajectory(
+        [
+            StraightSegment(3.0, 9.0),
+            Segment(duration=1.0, speed_start=9.0, speed_end=0.0),
+            StopSegment(1.5),
+            Segment(duration=1.0, speed_start=0.0, speed_end=7.0),
+            TurnSegment(2.0, 7.0, yaw_rate=0.25),
+        ],
+        camera_height=1.5,
+        pitch_amplitude=0.003,
+    )
+    objects = [
+        # A lead car pulling away from the same light.
+        moving_car(0.3, 18.0, speed=8.0, seed=1),
+        # Oncoming traffic.
+        moving_car(-3.5, 60.0, speed=9.0, direction=-1.0, seed=2),
+        # Street furniture and parked cars.
+        parked_car(4.8, 14.0, seed=3),
+        parked_car(-5.0, 30.0, seed=4),
+        # A pedestrian crossing in front of the light.
+        pedestrian(6.0, 26.0, velocity=(-1.3, 0.0), seed=5),
+        # Buildings lining the street.
+        *[building(side * 12.0, float(z), seed=10 * z + side) for z in range(6, 90, 14) for side in (-1, 1)],
+    ]
+    return Scene(trajectory=trajectory, objects=objects, texture_seed=99)
+
+
+def main() -> None:
+    scene = build_scene()
+    intrinsics = CameraIntrinsics(focal=0.87 * 512, width=512, height=320)
+    renderer = Renderer(intrinsics)
+    fps = 12.0
+
+    encoder = VideoEncoder(EncoderConfig(search_range=max(16, intrinsics.width // 20)))
+    extractor = ForegroundExtractor(intrinsics)
+    judge = EgoMotionJudge()
+    allocator = QPAllocator()
+    rng = np.random.default_rng(0)
+    block = encoder.config.block
+
+    print("frame  state     eta   fg%    dQP   fg-PSNR  bg-PSNR  kB")
+    for i in range(0, 48, 4):
+        record = renderer.render(scene, i / fps, frame_index=i)
+        offsets = None
+        motion = None
+        fg_mask = None
+        if encoder.reference is not None:
+            motion = estimate_motion(record.image, encoder.reference, search_range=encoder.config.search_range)
+            moving = judge.update(motion.mv)
+            corrected = motion.mv.astype(float)
+            if moving:
+                rot = estimate_rotation(motion.mv, intrinsics, rng=rng)
+                if rot is not None:
+                    corrected = remove_rotation(motion.mv, intrinsics, rot)
+            fg = extractor.extract(corrected, moving=moving)
+            fg_mask = fg.mask
+            offsets, delta = allocator.offsets(fg.mask)
+        encoded = encoder.encode(record.image, base_qp=20.0, qp_offsets=offsets, motion=motion)
+        if fg_mask is not None:
+            pixel_mask = np.kron(fg_mask, np.ones((block, block), dtype=bool))
+            fg_psnr = region_psnr(record.image, encoded.reconstruction, pixel_mask)
+            bg_psnr = region_psnr(record.image, encoded.reconstruction, ~pixel_mask)
+            state = scene.trajectory.motion_state_at(i / fps)
+            print(
+                f"{i:5d}  {state:8s} {judge.eta(motion.mv):5.2f} {fg_mask.mean() * 100:5.1f}  "
+                f"{delta:5.1f}  {fg_psnr:7.1f}  {bg_psnr:7.1f}  {encoded.size_bytes / 1000:5.1f}"
+            )
+
+    print("\nForeground PSNR stays high while background PSNR drops by the")
+    print("delta-QP gap — that asymmetry is differential video encoding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Link outages and motion-vector offline tracking (the paper's Fig 13).
+
+Streams one clip through DiVE over an uplink with periodic one-second
+outages, once with MOT enabled and once without, and reports where the
+detections of each frame came from and what it cost in accuracy.
+
+Run:  python examples/outage_tracking.py
+"""
+
+from repro.core import DiVEConfig, DiVEScheme
+from repro.experiments import ground_truth_for, run_scheme, scaled_bandwidth
+from repro.network import constant_trace, with_outages
+from repro.world import robotcar_like
+
+
+def main() -> None:
+    clip = robotcar_like(seed=2, n_frames=64)
+    ground_truth = ground_truth_for(clip)
+    base = constant_trace(scaled_bandwidth(2.0, clip))
+    trace = with_outages(base, outage_duration=0.8, interval=2.0, first_outage=1.0, horizon=clip.duration + 5)
+
+    print(f"clip {clip.name}: {clip.n_frames} frames @ {clip.fps:g} FPS")
+    print("uplink: 2 Mbps (paper scale) with 0.8 s outages every 2 s\n")
+
+    results = {}
+    for mot in (True, False):
+        scheme = DiVEScheme(DiVEConfig(enable_mot=mot))
+        results[mot] = run_scheme(scheme, clip, trace, ground_truth=ground_truth)
+
+    run = results[True].run
+    timeline = "".join(
+        {"edge": "E", "tracked": "T", "cached": "c", "none": "."}.get(f.source, "?") for f in run.frames
+    )
+    print("frame sources with MOT (E=edge inference, T=MV-tracked during outage):")
+    print(f"  {timeline}\n")
+
+    for mot, label in ((True, "with MOT"), (False, "without MOT")):
+        res = results[mot]
+        dropped = sum(f.dropped for f in res.run.frames)
+        print(
+            f"{label:12s}: mAP={res.map:.3f}  car={res.ap['car']:.3f}  "
+            f"ped={res.ap['pedestrian']:.3f}  dropped_frames={dropped}"
+        )
+    gain = results[True].map - results[False].map
+    print(f"\nMOT accuracy gain under outages: {gain * 100:+.1f} mAP points")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Terminal sparklines — quick-look plots with no plotting stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_series", "sparkline"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, *, lo: float | None = None, hi: float | None = None) -> str:
+    """Render a numeric sequence as a unicode sparkline string.
+
+    Non-finite values render as spaces (gaps).  ``lo``/``hi`` pin the
+    scale (useful when comparing several sparklines); by default the
+    finite range of the data is used.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return ""
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo = float(finite.min()) if lo is None else float(lo)
+    hi = float(finite.max()) if hi is None else float(hi)
+    span = hi - lo
+    out = []
+    for v in arr:
+        if not np.isfinite(v):
+            out.append(" ")
+            continue
+        if span <= 0:
+            out.append(_BARS[0])
+            continue
+        idx = int(np.clip((v - lo) / span * (len(_BARS) - 1), 0, len(_BARS) - 1))
+        out.append(_BARS[idx])
+    return "".join(out)
+
+
+def render_series(
+    label: str,
+    values,
+    *,
+    width: int = 60,
+    fmt: str = "{:.3f}",
+) -> str:
+    """One labelled sparkline row: ``label  ▃▅▆▇  min..max``.
+
+    Long series are down-sampled (mean-pooled) to ``width`` points.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        pooled = []
+        for a, b in zip(edges[:-1], edges[1:]):
+            chunk = arr[a:b]
+            finite = chunk[np.isfinite(chunk)]
+            pooled.append(float(finite.mean()) if finite.size else float("nan"))
+        arr = np.array(pooled)
+    finite = arr[np.isfinite(arr)]
+    if finite.size:
+        rng = f"{fmt.format(finite.min())}..{fmt.format(finite.max())}"
+    else:
+        rng = "n/a"
+    return f"{label:<18s} {sparkline(arr)}  {rng}"

@@ -1,0 +1,31 @@
+"""Comparison schemes from the paper's evaluation (Section IV-A).
+
+- :mod:`repro.baselines.o3` — O3: key-frame upload, local MV tracking with
+  key-frame correction.
+- :mod:`repro.baselines.eaar` — EAAR: parallel key-frame streaming with ROI
+  encoding from cached detections (QP 30/40), MV tracking on other frames.
+- :mod:`repro.baselines.dds` — DDS: two-pass server-driven streaming
+  (low-quality full frame, feedback regions re-uploaded in high quality).
+
+All schemes implement the :class:`~repro.baselines.base.AnalyticsScheme`
+interface so the experiment runner can swap them freely; DiVE itself lives
+in :mod:`repro.core.agent` and implements the same interface.
+"""
+
+from repro.baselines.base import AnalyticsScheme, FrameResult, LatencyModel, SchemeRun
+from repro.baselines.dds import DDSConfig, DDSScheme
+from repro.baselines.eaar import EAARConfig, EAARScheme
+from repro.baselines.o3 import O3Config, O3Scheme
+
+__all__ = [
+    "AnalyticsScheme",
+    "DDSConfig",
+    "DDSScheme",
+    "EAARConfig",
+    "EAARScheme",
+    "FrameResult",
+    "LatencyModel",
+    "O3Config",
+    "O3Scheme",
+    "SchemeRun",
+]

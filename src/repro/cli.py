@@ -1,0 +1,261 @@
+"""Command-line interface.
+
+Run ``python -m repro --help``.  Subcommands map one-to-one onto the
+experiment entry points (``table1``, ``fig06`` ... ``fig17``, ``ablation``,
+``scalability``) plus a ``demo`` that streams one clip through DiVE.
+Every experiment accepts ``--clips`` / ``--frames`` to trade fidelity for
+time; results print as the same text tables the benchmark suite emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_table,
+    ground_truth_for,
+    run_ablation,
+    run_fig06,
+    run_fig07,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig16_17,
+    run_scalability,
+    run_scheme,
+    run_table1,
+    scaled_bandwidth,
+)
+from repro.experiments.fig07 import collect_fields
+
+__all__ = ["build_parser", "main"]
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(n_clips=args.clips, n_frames=args.frames, detector_seed=args.detector_seed)
+
+
+def _cmd_demo(args: argparse.Namespace) -> str:
+    from repro.core import DiVEScheme
+    from repro.network import constant_trace
+    from repro.world import nuscenes_like, robotcar_like
+
+    maker = {"nuscenes": nuscenes_like, "robotcar": robotcar_like}[args.dataset]
+    clip = maker(args.seed, n_frames=args.frames)
+    trace = constant_trace(scaled_bandwidth(args.bandwidth, clip))
+    result = run_scheme(DiVEScheme(), clip, trace, ground_truth=ground_truth_for(clip))
+    rows = [
+        ["mAP", result.map],
+        ["AP car", result.ap["car"]],
+        ["AP pedestrian", result.ap["pedestrian"]],
+        ["response time (ms)", result.mean_response_time * 1000],
+        ["uplink kB", result.total_bytes / 1000],
+        ["drop rate", result.drop_rate],
+    ]
+    return format_table(["metric", "value"], rows, title=f"DiVE on {clip.name} @ {args.bandwidth:g} Mbps")
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    rows = run_table1(_config(args))
+    return format_table(
+        ["dataset", "fps", "videos", "frames", "cars", "peds"],
+        [[r.dataset, r.fps, r.videos, r.frames, r.cars, r.pedestrians] for r in rows],
+        title="Table I — dataset summary",
+    )
+
+
+def _cmd_fig06(args: argparse.Namespace) -> str:
+    study = run_fig06(_config(args))
+    rows = [
+        ["median eta (moving)", float(np.median(study.eta_moving))],
+        ["median eta (stopped)", float(np.median(study.eta_stopped))],
+        ["threshold", study.threshold],
+        ["judgement accuracy", study.accuracy],
+    ]
+    return format_table(["quantity", "value"], rows, title="Fig 6 — ego-motion detection")
+
+
+def _cmd_fig07(args: argparse.Namespace) -> str:
+    study = run_fig07(_config(args))
+    return format_table(
+        ["strategy", "med |err w_x|", "med |err w_y|"],
+        study.summary(),
+        title="Fig 7 — R-sampling rotation estimation (rad/s)",
+    )
+
+
+def _cmd_fig09(args: argparse.Namespace) -> str:
+    rows = run_fig09(_config(args))
+    return format_table(
+        ["dataset", "method", "mAP", "ME ms/frame"],
+        [[r.dataset, r.method, r.map, r.me_time_per_frame * 1000] for r in rows],
+        title="Fig 9 — motion-estimation methods",
+    )
+
+
+def _cmd_fig10(args: argparse.Namespace) -> str:
+    sweep = run_fig10(_config(args), data=collect_fields(_config(args)))
+    return format_table(
+        ["k", "median |err w|", "time (ms)"],
+        [[k, e, t * 1000] for k, e, t in zip(sweep.ks, sweep.errors, sweep.times)],
+        title="Fig 10 — R-sampling k sweep",
+    )
+
+
+def _cmd_fig11(args: argparse.Namespace) -> str:
+    rows = run_fig11(_config(args))
+    return format_table(
+        ["dataset", "delta", "Mbps", "mAP"],
+        [[r.dataset, r.delta, r.bandwidth_mbps, r.map] for r in rows],
+        title="Fig 11 — QP assignment",
+    )
+
+
+def _cmd_fig12(args: argparse.Namespace) -> str:
+    rows = run_fig12(_config(args))
+    return format_table(
+        ["dataset", "bg QP", "AP car", "AP ped"],
+        [[r.dataset, r.background_qp, r.ap_car, r.ap_pedestrian] for r in rows],
+        title="Fig 12 — foreground extraction",
+    )
+
+
+def _cmd_fig13(args: argparse.Namespace) -> str:
+    rows = run_fig13(_config(args))
+    return format_table(
+        ["dataset", "interval", "MOT", "mAP"],
+        [[r.dataset, r.interval, r.mot_enabled, r.map] for r in rows],
+        title="Fig 13 — offline tracking",
+    )
+
+
+def _cmd_fig14(args: argparse.Namespace) -> str:
+    rows = run_fig14(_config(args))
+    return format_table(
+        ["dataset", "state", "AP car", "AP ped"],
+        [[r.dataset, r.state, r.ap_car, r.ap_pedestrian] for r in rows],
+        title="Fig 14 — motion states",
+    )
+
+
+def _cmd_fig16(args: argparse.Namespace) -> str:
+    datasets = ("robotcar",) if args.figure == 16 else ("nuscenes",)
+    rows = run_fig16_17(_config(args), datasets=datasets)
+    return format_table(
+        ["scheme", "Mbps", "mAP", "RT (ms)"],
+        [[r.scheme, r.bandwidth_mbps, r.map, r.response_time * 1000] for r in rows],
+        title=f"Fig {args.figure} — end-to-end comparison ({datasets[0]})",
+    )
+
+
+def _cmd_ablation(args: argparse.Namespace) -> str:
+    rows = run_ablation(_config(args))
+    return format_table(
+        ["variant", "mAP", "RT (ms)"],
+        [[r.variant, r.map, r.response_time * 1000] for r in rows],
+        title="Ablation — DiVE design choices",
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> str:
+    """Foreground-extraction quality report plus quick-look sparklines."""
+    from repro.analysis import foreground_quality, render_series, response_time_series
+    from repro.core import DiVEScheme
+    from repro.network import constant_trace
+    from repro.world import nuscenes_like, robotcar_like
+
+    maker = {"nuscenes": nuscenes_like, "robotcar": robotcar_like}[args.dataset]
+    clip = maker(args.seed, n_frames=args.frames)
+    report = foreground_quality(clip)
+    trace = constant_trace(scaled_bandwidth(args.bandwidth, clip))
+    result = run_scheme(DiVEScheme(), clip, trace, ground_truth=ground_truth_for(clip))
+    times, responses, _ = response_time_series(result.run)
+
+    lines = [
+        f"clip {clip.name}: {clip.n_frames} frames @ {clip.fps:g} FPS, "
+        f"{args.bandwidth:g} Mbps uplink",
+        "",
+        format_table(
+            ["foreground-extraction metric", "value"],
+            [
+                ["mean object coverage", report.mean_object_coverage],
+                ["objects covered >= 70%", report.full_coverage_rate],
+                ["mean foreground fraction", report.mean_foreground_fraction],
+                ["mask precision (on objects)", report.mask_precision],
+            ],
+        ),
+        "",
+        render_series("object coverage", report.per_frame_coverage),
+        render_series("response (ms)", responses * 1000, fmt="{:.0f}"),
+        "",
+        f"end-to-end: mAP={result.map:.3f}  car={result.ap['car']:.3f}  "
+        f"ped={result.ap['pedestrian']:.3f}  RT={result.mean_response_time * 1000:.0f} ms",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_scalability(args: argparse.Namespace) -> str:
+    rows = run_scalability(_config(args))
+    return format_table(
+        ["scheme", "agents", "RT (ms)", "req/s"],
+        [[r.scheme, r.n_agents, r.response_time * 1000, r.inference_load] for r in rows],
+        title="Scalability — shared edge server",
+    )
+
+
+_COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
+    "demo": (_cmd_demo, "Stream one synthetic clip through DiVE and print its metrics"),
+    "analyze": (_cmd_analyze, "Foreground-extraction quality report + quick-look sparklines"),
+    "table1": (_cmd_table1, "Table I — dataset summary"),
+    "fig06": (_cmd_fig06, "Fig 6 — ego-motion detection from eta"),
+    "fig07": (_cmd_fig07, "Fig 7 — R-sampling rotation estimation"),
+    "fig09": (_cmd_fig09, "Fig 9 — motion-estimation methods"),
+    "fig10": (_cmd_fig10, "Fig 10 — R-sampling k sweep"),
+    "fig11": (_cmd_fig11, "Fig 11 — QP assignment"),
+    "fig12": (_cmd_fig12, "Fig 12 — foreground extraction quality"),
+    "fig13": (_cmd_fig13, "Fig 13 — offline tracking under outages"),
+    "fig14": (_cmd_fig14, "Fig 14 — ego motion states"),
+    "fig16": (_cmd_fig16, "Fig 16 — end-to-end comparison (RobotCar)"),
+    "fig17": (_cmd_fig16, "Fig 17 — end-to-end comparison (nuScenes)"),
+    "ablation": (_cmd_ablation, "Extra — DiVE design-choice ablations"),
+    "scalability": (_cmd_scalability, "Extra — multi-agent edge scalability"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DiVE reproduction — regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, (_, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--clips", type=int, default=2, help="clips per dataset")
+        p.add_argument("--frames", type=int, default=24, help="frames per clip")
+        p.add_argument("--detector-seed", type=int, default=7)
+        if name in ("demo", "analyze"):
+            p.add_argument("--dataset", choices=("nuscenes", "robotcar"), default="nuscenes")
+            p.add_argument("--seed", type=int, default=0)
+            p.add_argument("--bandwidth", type=float, default=2.0, help="paper-scale Mbps")
+        if name in ("fig16", "fig17"):
+            p.set_defaults(figure=16 if name == "fig16" else 17)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    func, _ = _COMMANDS[args.command]
+    print(func(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

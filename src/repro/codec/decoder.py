@@ -1,0 +1,60 @@
+"""Video decoder.
+
+Reconstructs frames from the quantised levels, QP maps and motion vectors
+carried by :class:`~repro.codec.encoder.EncodedFrame` — the same arithmetic
+as the encoder's reconstruction path, driven from its own reference chain.
+The edge server decodes received frames with this class; a mid-stream drop
+of a reference frame therefore corrupts decoding exactly as it would in a
+real codec (the server requests an intra refresh instead, handled at the
+scheme level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codec.encoder import EncodedFrame, _INTRA_DC
+from repro.codec.intra import intra_decode
+from repro.codec.motion import motion_compensate
+from repro.codec.transform import dequantize, idct_blocks
+
+__all__ = ["VideoDecoder"]
+
+
+class VideoDecoder:
+    """Stateful decoder over an encoded frame sequence."""
+
+    def __init__(self, *, block: int = 16):
+        self.block = block
+        self._reference: np.ndarray | None = None
+
+    def reset(self) -> None:
+        self._reference = None
+
+    def decode(self, encoded: EncodedFrame) -> np.ndarray:
+        """Decode one frame and update the reference chain.
+
+        Raises
+        ------
+        ValueError
+            If a P-frame arrives with no reference (a preceding frame was
+            never decoded).
+        """
+        if encoded.frame_type == "I" and encoded.intra_modes is not None:
+            frame = intra_decode(
+                encoded.levels, encoded.intra_modes, encoded.qp_map, block=self.block
+            ).astype(np.float32)
+            self._reference = frame
+            return frame
+        residual = idct_blocks(dequantize(encoded.levels, encoded.qp_map, mb_size=self.block))
+        if encoded.frame_type == "I":
+            prediction = np.full_like(residual, _INTRA_DC)
+        else:
+            if self._reference is None:
+                raise ValueError("P-frame received with no reference frame decoded")
+            if encoded.mv is None:
+                raise ValueError("P-frame carries no motion field")
+            prediction = motion_compensate(self._reference, encoded.mv, block=self.block)
+        frame = np.clip(prediction + residual, 0.0, 255.0).astype(np.float32)
+        self._reference = frame
+        return frame

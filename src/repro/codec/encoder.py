@@ -1,0 +1,317 @@
+"""Video encoder: GoP management, QP offset maps and rate control.
+
+The encoder mirrors the pipeline of Section II-B: motion estimation, QP
+decision per macroblock (base QP from rate control + the caller's QP offset
+map, which is how DiVE expresses differential encoding), transform
+quantisation and bit accounting.  Reconstruction uses the quantised data,
+so encoder and decoder stay in lockstep and the decoded frames carry true
+quantisation distortion.
+
+Two rate modes:
+
+- **CBR**: ``target_bits`` per frame; a binary search over the base QP
+  finds the highest quality that fits the budget (the DCT is computed once
+  and re-quantised per probe, so the search is cheap).
+- **CRF**: fixed ``base_qp`` (used by the Fig 12 foreground-quality
+  experiment, where the foreground QP is pinned to 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.intra import intra_encode
+from repro.codec.motion import MotionEstimate, estimate_motion, motion_compensate
+from repro.codec.transform import dct_blocks, dequantize, idct_blocks, quantize, transform_cost_bits
+
+__all__ = ["EncodedFrame", "EncoderConfig", "VideoEncoder", "encode_region_update"]
+
+#: Flat prediction level for intra frames (mid-gray).
+_INTRA_DC = 128.0
+_MAX_QP = 51
+#: Per-frame header/syntax overhead in bits (frame header, MV field).
+_FRAME_OVERHEAD_BITS = 256.0
+#: Average MV syntax cost per macroblock; skip-mode MBs make the true
+#: average low.
+_MV_BITS_PER_MB = 2.0
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Encoder parameters.
+
+    Attributes
+    ----------
+    me_method:
+        Motion-estimation search: ``dia`` / ``hex`` / ``umh`` / ``esa`` /
+        ``tesa`` (paper default after Fig 9: HEX).
+    search_range:
+        Motion search window, pixels.
+    gop:
+        Group-of-pictures length; every ``gop``-th frame is an I-frame.
+    block:
+        Macroblock size.
+    lambda_mv:
+        Rate weight of MV coding in the motion search.
+    intra_prediction:
+        Predict I-frame blocks from reconstructed neighbours (DC /
+        horizontal / vertical modes) instead of flat mid-gray; saves a
+        large share of I-frame bits, exactly as in H.264.
+    """
+
+    me_method: str = "hex"
+    search_range: int = 16
+    gop: int = 48
+    block: int = 16
+    lambda_mv: float = 4.0
+    intra_prediction: bool = True
+
+
+@dataclass
+class EncodedFrame:
+    """One encoded frame — everything the decoder and DiVE need.
+
+    Attributes
+    ----------
+    index:
+        Encode-order index.
+    frame_type:
+        ``"I"`` or ``"P"``.
+    bits:
+        Total coded size in bits (including per-frame overhead).
+    size_bytes:
+        ``ceil(bits / 8)``.
+    base_qp:
+        Rate-control QP before offsets.
+    qp_map:
+        ``(mb_rows, mb_cols)`` effective QP per macroblock.
+    levels:
+        Quantised DCT levels (block-major), the "bitstream payload".
+    motion:
+        Motion estimate (``None`` for I-frames).
+    reconstruction:
+        Decoder-identical reconstruction of this frame.
+    bits_per_mb:
+        ``(mb_rows, mb_cols)`` coefficient bits per macroblock.
+    """
+
+    index: int
+    frame_type: str
+    bits: float
+    size_bytes: int
+    base_qp: float
+    qp_map: np.ndarray
+    levels: np.ndarray
+    motion: MotionEstimate | None
+    reconstruction: np.ndarray
+    bits_per_mb: np.ndarray
+    intra_modes: np.ndarray | None = None
+
+    @property
+    def mv(self) -> np.ndarray | None:
+        return None if self.motion is None else self.motion.mv
+
+
+class VideoEncoder:
+    """Stateful encoder over a frame sequence."""
+
+    def __init__(self, config: EncoderConfig | None = None):
+        self.config = config or EncoderConfig()
+        self._reference: np.ndarray | None = None
+        self._frame_index = 0
+
+    @property
+    def frame_index(self) -> int:
+        return self._frame_index
+
+    @property
+    def reference(self) -> np.ndarray | None:
+        """Current reference frame (the previous reconstruction), if any.
+
+        DiVE's preprocessing computes the motion field against this exact
+        reference and hands it back to :meth:`encode` via ``motion=`` so the
+        search runs once, as it does inside a real codec.
+        """
+        return self._reference
+
+    def reset(self) -> None:
+        """Drop the reference frame; the next frame becomes an I-frame."""
+        self._reference = None
+        self._frame_index = 0
+
+    def encode(
+        self,
+        frame: np.ndarray,
+        *,
+        qp_offsets: np.ndarray | None = None,
+        target_bits: float | None = None,
+        base_qp: float | None = None,
+        force_intra: bool = False,
+        motion: MotionEstimate | None = None,
+    ) -> EncodedFrame:
+        """Encode one frame.
+
+        Exactly one of ``target_bits`` (CBR) and ``base_qp`` (CRF) must be
+        given.  ``qp_offsets`` is the per-macroblock QP offset map of
+        Section II-B — positive offsets compress harder (DiVE assigns 0 to
+        foreground macroblocks and delta to the background).
+        """
+        if (target_bits is None) == (base_qp is None):
+            raise ValueError("specify exactly one of target_bits (CBR) or base_qp (CRF)")
+        frame = np.asarray(frame, dtype=np.float32)
+        cfg = self.config
+        if frame.shape[0] % cfg.block or frame.shape[1] % cfg.block:
+            raise ValueError(f"frame shape {frame.shape} not a multiple of block {cfg.block}")
+        mb_shape = (frame.shape[0] // cfg.block, frame.shape[1] // cfg.block)
+        offsets = np.zeros(mb_shape) if qp_offsets is None else np.asarray(qp_offsets, dtype=float)
+        if offsets.shape != mb_shape:
+            raise ValueError(f"qp_offsets shape {offsets.shape} != macroblock grid {mb_shape}")
+
+        intra = force_intra or self._reference is None or (self._frame_index % cfg.gop == 0)
+        if intra:
+            motion = None
+            prediction = np.full_like(frame, _INTRA_DC)
+            overhead = _FRAME_OVERHEAD_BITS
+        else:
+            if motion is None:
+                motion = estimate_motion(
+                    frame,
+                    self._reference,
+                    method=cfg.me_method,
+                    search_range=cfg.search_range,
+                    block=cfg.block,
+                    lambda_mv=cfg.lambda_mv,
+                )
+            elif motion.mv.shape[:2] != mb_shape:
+                raise ValueError(f"precomputed motion shape {motion.mv.shape[:2]} != grid {mb_shape}")
+            prediction = motion_compensate(self._reference, motion.mv, block=cfg.block)
+            overhead = _FRAME_OVERHEAD_BITS + _MV_BITS_PER_MB * mb_shape[0] * mb_shape[1]
+
+        residual = frame - prediction
+        coeffs = dct_blocks(residual)
+
+        if base_qp is not None:
+            chosen_qp = float(np.clip(base_qp, 0, _MAX_QP))
+        else:
+            chosen_qp = self._rate_control(coeffs, offsets, float(target_bits) - overhead, cfg.block)
+
+        qp_map = np.clip(chosen_qp + offsets, 0, _MAX_QP)
+        intra_modes = None
+        if intra and cfg.intra_prediction:
+            # Neighbour-predicted intra coding.  Rate control above probed
+            # the flat-prediction residual — usually an over-estimate, but
+            # on noise-like content the mode syntax can tip the real cost
+            # slightly over budget, so bump the QP until it fits.
+            for _ in range(5):
+                levels, intra_modes, recon64, bits_per_mb = intra_encode(frame, qp_map, block=cfg.block)
+                if (
+                    target_bits is None
+                    or chosen_qp >= _MAX_QP
+                    or float(bits_per_mb.sum()) + overhead <= float(target_bits)
+                ):
+                    break
+                chosen_qp = min(chosen_qp + 1.0, _MAX_QP)
+                qp_map = np.clip(chosen_qp + offsets, 0, _MAX_QP)
+            reconstruction = recon64.astype(np.float32)
+        else:
+            levels = quantize(coeffs, qp_map, mb_size=cfg.block)
+            bits_per_mb = transform_cost_bits(levels, mb_size=cfg.block)
+            recon_residual = idct_blocks(dequantize(levels, qp_map, mb_size=cfg.block))
+            reconstruction = np.clip(prediction + recon_residual, 0.0, 255.0).astype(np.float32)
+
+        total_bits = float(bits_per_mb.sum() + overhead)
+        encoded = EncodedFrame(
+            index=self._frame_index,
+            frame_type="I" if intra else "P",
+            bits=total_bits,
+            size_bytes=int(np.ceil(total_bits / 8.0)),
+            base_qp=chosen_qp,
+            qp_map=qp_map,
+            levels=levels,
+            motion=motion,
+            reconstruction=reconstruction,
+            bits_per_mb=bits_per_mb,
+            intra_modes=intra_modes,
+        )
+        self._reference = reconstruction
+        self._frame_index += 1
+        return encoded
+
+    @staticmethod
+    def _rate_control(coeffs: np.ndarray, offsets: np.ndarray, budget_bits: float, block: int) -> float:
+        """Smallest base QP whose coded size fits the bit budget.
+
+        Coefficient bits decrease monotonically with QP, so a binary search
+        over integer QPs suffices.  If even QP 51 overshoots, 51 is
+        returned (the frame will simply take longer to transmit — the
+        network simulator handles queueing).
+        """
+
+        def bits_at(qp: float) -> float:
+            qp_map = np.clip(qp + offsets, 0, _MAX_QP)
+            return float(transform_cost_bits(quantize(coeffs, qp_map, mb_size=block), mb_size=block).sum())
+
+        lo, hi = 0, _MAX_QP
+        if bits_at(lo) <= budget_bits:
+            return float(lo)
+        if bits_at(hi) > budget_bits:
+            return float(hi)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits_at(mid) <= budget_bits:
+                hi = mid
+            else:
+                lo = mid
+        return float(hi)
+
+
+def encode_region_update(
+    base: np.ndarray,
+    target: np.ndarray,
+    region_mask: np.ndarray,
+    *,
+    qp: float,
+    block: int = 16,
+) -> tuple[float, np.ndarray]:
+    """Re-encode selected macroblocks of ``target`` at ``qp`` on top of ``base``.
+
+    Models DDS's second pass: the server already holds the low-quality
+    decode (``base``); the agent uploads only the feedback-region
+    macroblocks, coded as a residual against that decode at high quality.
+
+    Parameters
+    ----------
+    base:
+        The image both sides already share.
+    target:
+        The (raw) frame the regions should be upgraded towards.
+    region_mask:
+        ``(mb_rows, mb_cols)`` boolean mask of macroblocks to upgrade.
+    qp:
+        QP of the upgrade.
+
+    Returns
+    -------
+    ``(bits, updated_image)`` — the upload cost and the image after
+    applying the upgrade.
+    """
+    base = np.asarray(base, dtype=np.float32)
+    target = np.asarray(target, dtype=np.float32)
+    mb_shape = (base.shape[0] // block, base.shape[1] // block)
+    mask = np.asarray(region_mask, dtype=bool)
+    if mask.shape != mb_shape:
+        raise ValueError(f"region mask shape {mask.shape} != macroblock grid {mb_shape}")
+    pixel_mask = np.kron(mask, np.ones((block, block), dtype=bool))
+    residual = np.where(pixel_mask, target - base, 0.0)
+    coeffs = dct_blocks(residual)
+    qp_map = np.full(mb_shape, float(qp))
+    levels = quantize(coeffs, qp_map, mb_size=block)
+    bits_per_mb = transform_cost_bits(levels, mb_size=block)
+    # Only region blocks are transmitted: coefficient bits plus 8 bits of
+    # addressing per block, plus a message header.
+    bits = float(bits_per_mb[mask].sum()) + 8.0 * int(mask.sum()) + 64.0
+    recon_residual = idct_blocks(dequantize(levels, qp_map, mb_size=block))
+    updated = np.clip(base + np.where(pixel_mask, recon_residual, 0.0), 0.0, 255.0).astype(np.float32)
+    return bits, updated

@@ -1,0 +1,565 @@
+"""Block-matching motion estimation.
+
+Implements the five x264 motion-estimation methods the paper compares in
+Fig 9 — diamond (DIA), hexagon (HEX), uneven multi-hexagon (UMH),
+exhaustive (ESA) and transformed exhaustive (TESA) — over square
+macroblocks, with sub-pixel refinement.
+
+Motion-vector convention (see DESIGN.md): the MV ``(dx, dy)`` of a
+macroblock is the displacement of its *content* from the reference frame to
+the current frame; the prediction block is read from the reference at the
+block position minus the MV.  Under forward ego motion, static-scene MVs
+therefore point away from the focus of expansion.
+
+Like a real encoder, the search minimises ``SAD + lambda * mv_bits`` where
+``mv_bits`` is an exp-Golomb cost of the MV relative to the median
+predictor of the left/top/top-right neighbours.  The pattern searches (DIA,
+HEX, UMH) start near the predictor and inherit its spatial smoothness; the
+exhaustive searches find global SAD minima, which — exactly as the paper
+observes — makes their MV fields *noisier* on repetitive texture, not
+better, because minimal residual is not the same thing as true object
+matching.
+
+Implementation note: the pattern searches are *block-parallel* — every
+macroblock walks its pattern simultaneously, and each candidate offset is
+evaluated for all blocks with one fancy-indexed gather.  Predictors
+therefore come from a first zero-start pass rather than a causal raster
+scan (a two-pass scheme, much like an encoder lookahead).  Sub-pixel
+precision comes from a parabolic fit through the SAD of the +-1-pixel
+neighbours of the integer winner, skipped for zero-MV blocks whose SAD is
+already skip-level so that the non-zero-MV ratio stays a clean ego-motion
+signal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.integral import block_reduce_sum, shift_with_edge_pad
+
+__all__ = ["ME_METHODS", "MotionEstimate", "estimate_motion", "motion_compensate", "nonzero_mv_ratio"]
+
+ME_METHODS = ("dia", "hex", "umh", "esa", "tesa")
+
+_LARGE_HEX = ((-2, 0), (-1, -2), (1, -2), (2, 0), (1, 2), (-1, 2))
+_SMALL_DIAMOND = ((0, -1), (-1, 0), (1, 0), (0, 1))
+#: SAD per pixel below which a zero-MV block counts as "skip" (static).
+_SKIP_SAD_PER_PIXEL = 1.5
+
+
+@dataclass
+class MotionEstimate:
+    """Result of motion estimation for one frame.
+
+    Attributes
+    ----------
+    mv:
+        ``(rows, cols, 2)`` float array of per-macroblock ``(dx, dy)``
+        (quarter-pel-scale precision from the parabolic refinement).
+    sad:
+        ``(rows, cols)`` SAD of each macroblock under its integer MV.
+    method:
+        Search method used.
+    elapsed:
+        Wall-clock seconds spent searching (the Fig 9/10 time-cost metric).
+    """
+
+    mv: np.ndarray
+    sad: np.ndarray
+    method: str
+    elapsed: float
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.mv.shape[0], self.mv.shape[1]
+
+
+def _mv_bits_vec(dx: np.ndarray, dy: np.ndarray, pred_x: np.ndarray, pred_y: np.ndarray) -> np.ndarray:
+    """Vectorised exp-Golomb-style MV bit cost against per-block predictors."""
+    bits = np.zeros(dx.shape, dtype=np.float64)
+    for d, p in ((dx, pred_x), (dy, pred_y)):
+        v = np.abs(d - p)
+        bits += 1.0 + 2.0 * np.floor(np.log2(2.0 * v + 1.0))
+    return bits
+
+
+class _BlockSadEvaluator:
+    """Per-block SAD at arbitrary per-block displacements, vectorised.
+
+    One call evaluates a candidate displacement for *every* macroblock via
+    a single fancy-indexed gather from the padded reference frame.
+    """
+
+    def __init__(self, current: np.ndarray, reference: np.ndarray, search_range: int, block: int):
+        self.block = block
+        self.pad = search_range + 2  # +2 headroom for subpel neighbours
+        self.search_range = search_range
+        h, w = current.shape
+        self.rows = h // block
+        self.cols = w // block
+        self.n = self.rows * self.cols
+        self.ref_pad = np.pad(reference.astype(np.float64), self.pad, mode="edge")
+        cur = current.astype(np.float64)
+        self.cur_blocks = (
+            cur.reshape(self.rows, block, self.cols, block).transpose(0, 2, 1, 3).reshape(self.n, block, block)
+        )
+        by = (np.arange(self.rows) * block).repeat(self.cols)
+        bx = np.tile(np.arange(self.cols) * block, self.rows)
+        self.by = by
+        self.bx = bx
+        self._arange = np.arange(block)
+
+    def gather(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        """Reference blocks for integer per-block displacements, ``(n, b, b)``."""
+        base_r = self.by - dy + self.pad
+        base_c = self.bx - dx + self.pad
+        idx_r = base_r[:, None] + self._arange[None, :]
+        idx_c = base_c[:, None] + self._arange[None, :]
+        return self.ref_pad[idx_r[:, :, None], idx_c[:, None, :]]
+
+    def sad_int(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        """SAD of every block at its own integer displacement."""
+        return np.abs(self.cur_blocks - self.gather(dx, dy)).sum(axis=(1, 2))
+
+    def sad_int_subset(self, idx: np.ndarray, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        """SAD for a subset of blocks (``idx`` flat indices)."""
+        base_r = self.by[idx] - dy + self.pad
+        base_c = self.bx[idx] - dx + self.pad
+        idx_r = base_r[:, None] + self._arange[None, :]
+        idx_c = base_c[:, None] + self._arange[None, :]
+        ref = self.ref_pad[idx_r[:, :, None], idx_c[:, None, :]]
+        return np.abs(self.cur_blocks[idx] - ref).sum(axis=(1, 2))
+
+    def sad_frac(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
+        """SAD at fractional displacements (bilinear-interpolated reference)."""
+        fdx = np.floor(dx).astype(np.int64)
+        fdy = np.floor(dy).astype(np.int64)
+        ax = (dx - fdx)[:, None, None]
+        ay = (dy - fdy)[:, None, None]
+        p00 = self.gather(fdx, fdy)
+        p01 = self.gather(fdx + 1, fdy)
+        p10 = self.gather(fdx, fdy + 1)
+        p11 = self.gather(fdx + 1, fdy + 1)
+        interp = (1 - ay) * ((1 - ax) * p00 + ax * p01) + ay * ((1 - ax) * p10 + ax * p11)
+        return np.abs(self.cur_blocks - interp).sum(axis=(1, 2))
+
+
+def _median_predictors(mv: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Median of left / top / top-right neighbour MVs for every block."""
+    rows, cols = mv.shape[:2]
+    preds = np.zeros((rows, cols, 2), dtype=np.float64)
+    left = np.zeros_like(mv)
+    left[:, 1:] = mv[:, :-1]
+    top = np.zeros_like(mv)
+    top[1:, :] = mv[:-1, :]
+    topright = np.zeros_like(mv)
+    topright[1:, :-1] = mv[:-1, 1:]
+    stacked = np.stack([left, top, topright], axis=0).astype(np.float64)
+    preds = np.median(stacked, axis=0)
+    return np.round(preds[..., 0]).ravel(), np.round(preds[..., 1]).ravel()
+
+
+def _descend(
+    ev: _BlockSadEvaluator,
+    pattern: tuple[tuple[int, int], ...],
+    dx: np.ndarray,
+    dy: np.ndarray,
+    cost: np.ndarray,
+    pred_x: np.ndarray,
+    pred_y: np.ndarray,
+    lambda_mv: float,
+    *,
+    max_iter: int = 16,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Move every block's pattern until no block improves.
+
+    Keeps an *active set*: once a block fails to improve through a full
+    pattern sweep it drops out, so later iterations only pay for the
+    wavefront of still-moving blocks.
+    """
+    rng = ev.search_range
+    active = np.arange(ev.n)
+    for _ in range(max_iter):
+        if active.size == 0:
+            break
+        improved_mask = np.zeros(active.size, dtype=bool)
+        for ox, oy in pattern:
+            cx = dx[active] + ox
+            cy = dy[active] + oy
+            valid = (np.abs(cx) <= rng) & (np.abs(cy) <= rng)
+            sad = ev.sad_int_subset(active, np.clip(cx, -rng, rng), np.clip(cy, -rng, rng))
+            cand = sad + lambda_mv * _mv_bits_vec(cx, cy, pred_x[active], pred_y[active])
+            cand[~valid] = np.inf
+            better = cand < cost[active] - 1e-9
+            if better.any():
+                sel = active[better]
+                dx[sel] = cx[better]
+                dy[sel] = cy[better]
+                cost[sel] = cand[better]
+                improved_mask |= better
+        active = active[improved_mask]
+    return dx, dy, cost
+
+
+def _try_candidates(
+    ev: _BlockSadEvaluator,
+    cands: list[tuple[np.ndarray, np.ndarray]],
+    dx: np.ndarray,
+    dy: np.ndarray,
+    cost: np.ndarray,
+    pred_x: np.ndarray,
+    pred_y: np.ndarray,
+    lambda_mv: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    rng = ev.search_range
+    for cx, cy in cands:
+        cx = np.clip(np.asarray(cx, dtype=np.int64), -rng, rng)
+        cy = np.clip(np.asarray(cy, dtype=np.int64), -rng, rng)
+        cand = ev.sad_int(cx, cy) + lambda_mv * _mv_bits_vec(cx, cy, pred_x, pred_y)
+        better = cand < cost - 1e-9
+        dx = np.where(better, cx, dx)
+        dy = np.where(better, cy, dy)
+        cost = np.where(better, cand, cost)
+    return dx, dy, cost
+
+
+def _umh_offsets(search_range: int) -> list[tuple[int, int]]:
+    """UMH's extra coverage: unsymmetrical cross + uneven multi-hexagon."""
+    offsets: list[tuple[int, int]] = []
+    for ox in range(-search_range, search_range + 1, 2):
+        if ox:
+            offsets.append((ox, 0))
+    for oy in range(-search_range // 2, search_range // 2 + 1, 2):
+        if oy:
+            offsets.append((0, oy))
+    for radius in range(1, max(search_range // 4, 1) + 1):
+        for k in range(16):
+            ang = 2 * np.pi * k / 16
+            ox = int(round(radius * 2 * np.cos(ang)))
+            oy = int(round(radius * 2 * np.sin(ang)))
+            if (ox, oy) != (0, 0):
+                offsets.append((ox, oy))
+    return offsets
+
+
+def _parabolic_subpel(
+    ev: _BlockSadEvaluator,
+    dx: np.ndarray,
+    dy: np.ndarray,
+    sad0: np.ndarray,
+    block: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sub-pixel offset per block from a parabola through the SAD surface.
+
+    Fits 1-D parabolas through (SAD(-1), SAD(0), SAD(+1)) along x and y and
+    takes each parabola's vertex, clamped to +-0.5 px.  Zero-MV blocks with
+    skip-level SAD keep their exact zero so eta stays clean.
+    """
+    rng = ev.search_range
+    # Skip blocks that need no refinement: static skip-level blocks (keeps
+    # eta clean) and near-perfect integer matches (the true minimum *is*
+    # the integer position).
+    skip = ((dx == 0) & (dy == 0) & (sad0 <= _SKIP_SAD_PER_PIXEL * block * block)) | (
+        sad0 <= 0.05 * block * block
+    )
+    sxm = ev.sad_int(np.clip(dx - 1, -rng, rng), dy)
+    sxp = ev.sad_int(np.clip(dx + 1, -rng, rng), dy)
+    sym = ev.sad_int(dx, np.clip(dy - 1, -rng, rng))
+    syp = ev.sad_int(dx, np.clip(dy + 1, -rng, rng))
+
+    def vertex(sm: np.ndarray, sp: np.ndarray) -> np.ndarray:
+        denom = sm - 2.0 * sad0 + sp
+        with np.errstate(divide="ignore", invalid="ignore"):
+            off = 0.5 * (sm - sp) / denom
+        off = np.where((denom > 1e-9) & np.isfinite(off), off, 0.0)
+        return np.clip(off, -0.5, 0.5)
+
+    off_x = np.where(skip, 0.0, vertex(sxm, sxp))
+    off_y = np.where(skip, 0.0, vertex(sym, syp))
+    return np.clip(dx + off_x, -rng, rng), np.clip(dy + off_y, -rng, rng)
+
+
+def _pattern_search(
+    current: np.ndarray,
+    reference: np.ndarray,
+    *,
+    method: str,
+    search_range: int,
+    block: int,
+    lambda_mv: float,
+    subpel: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    ev = _BlockSadEvaluator(current, reference, search_range, block)
+    n = ev.n
+    zero = np.zeros(n, dtype=np.int64)
+    pattern = _SMALL_DIAMOND if method == "dia" else _LARGE_HEX
+
+    # Pass 1: zero start, zero predictor.  HEX/UMH additionally seed from a
+    # coarse displacement grid so large coherent motion (frame bottom under
+    # fast ego translation) is found even without causal predictors — the
+    # role x264's sequential predictor chain plays.
+    cost = ev.sad_int(zero, zero) + lambda_mv * _mv_bits_vec(zero, zero, zero, zero)
+    dx, dy = zero.copy(), zero.copy()
+    if method in ("hex", "umh"):
+        # Seed only blocks whose zero-MV match is poor — the ones that
+        # actually moved far (frame bottom under fast ego translation).
+        need = np.flatnonzero(cost > 2.0 * block * block)
+        if need.size:
+            steps = [s for s in range(-search_range, search_range + 1, max(search_range // 2, 4))]
+            for ox in steps:
+                for oy in steps:
+                    if (ox, oy) == (0, 0):
+                        continue
+                    cdx = np.full(need.size, ox, dtype=np.int64)
+                    cdy = np.full(need.size, oy, dtype=np.int64)
+                    sad = ev.sad_int_subset(need, cdx, cdy)
+                    cand = sad + lambda_mv * _mv_bits_vec(cdx, cdy, zero[need], zero[need])
+                    better = cand < cost[need] - 1e-9
+                    sel = need[better]
+                    dx[sel] = ox
+                    dy[sel] = oy
+                    cost[sel] = cand[better]
+    dx, dy, cost = _descend(ev, pattern, dx, dy, cost, zero, zero, lambda_mv)
+    if method in ("hex", "umh"):
+        dx, dy, cost = _descend(ev, _SMALL_DIAMOND, dx, dy, cost, zero, zero, lambda_mv)
+
+    # Pass 2 (repeated): median predictors from the previous sweep act as
+    # the encoder lookahead; good vectors propagate to their neighbours.
+    for _ in range(2):
+        mv1 = np.stack([dx, dy], axis=-1).reshape(ev.rows, ev.cols, 2)
+        pred_x, pred_y = _median_predictors(mv1)
+        pred_x = pred_x.astype(np.int64)
+        pred_y = pred_y.astype(np.int64)
+        cost = ev.sad_int(dx, dy) + lambda_mv * _mv_bits_vec(dx, dy, pred_x, pred_y)
+        dx, dy, cost = _try_candidates(
+            ev, [(zero, zero), (pred_x, pred_y)], dx, dy, cost, pred_x, pred_y, lambda_mv
+        )
+        if method == "umh":
+            # The uneven cross + multi-hexagon sweep, applied to blocks the
+            # cheaper stages left with a poor match.
+            need = np.flatnonzero(cost > 1.5 * block * block)
+            for ox, oy in _umh_offsets(search_range):
+                if need.size == 0:
+                    break
+                cx = np.clip(dx[need] + ox, -search_range, search_range)
+                cy = np.clip(dy[need] + oy, -search_range, search_range)
+                sad = ev.sad_int_subset(need, cx, cy)
+                cand = sad + lambda_mv * _mv_bits_vec(cx, cy, pred_x[need], pred_y[need])
+                better = cand < cost[need] - 1e-9
+                sel = need[better]
+                dx[sel] = cx[better]
+                dy[sel] = cy[better]
+                cost[sel] = cand[better]
+        dx, dy, cost = _descend(ev, pattern, dx, dy, cost, pred_x, pred_y, lambda_mv)
+        if method in ("hex", "umh"):
+            dx, dy, cost = _descend(ev, _SMALL_DIAMOND, dx, dy, cost, pred_x, pred_y, lambda_mv)
+
+    sad0 = ev.sad_int(dx, dy)
+    if subpel:
+        fx, fy = _parabolic_subpel(ev, dx, dy, sad0, block)
+    else:
+        fx, fy = dx.astype(np.float64), dy.astype(np.float64)
+    mv = np.stack([fx, fy], axis=-1).reshape(ev.rows, ev.cols, 2).astype(np.float32)
+    return mv, sad0.reshape(ev.rows, ev.cols)
+
+
+def _hadamard_matrix(n: int) -> np.ndarray:
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h
+
+
+def _exhaustive_search(
+    current: np.ndarray,
+    reference: np.ndarray,
+    *,
+    search_range: int,
+    block: int,
+    lambda_mv: float,
+    transformed: bool,
+    subpel: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Displacement-major full search (ESA), optionally with an SATD
+    re-ranking of the top candidates (TESA).
+
+    For each displacement the SAD of *every* macroblock is computed at once
+    with whole-frame vector ops.  The MV-bit penalty uses the zero-MV
+    predictor (exhaustive search scans a fixed window, so no causal
+    predictor exists while the costs are being accumulated).
+    """
+    h, w = current.shape
+    rows, cols = h // block, w // block
+    cur64 = current.astype(np.float64)
+    ref64 = reference.astype(np.float64)
+    disps = [(dx, dy) for dy in range(-search_range, search_range + 1) for dx in range(-search_range, search_range + 1)]
+    costs = np.empty((len(disps), rows, cols), dtype=np.float64)
+    sads = np.empty_like(costs)
+    zero = np.zeros(1, dtype=np.int64)
+    for i, (dx, dy) in enumerate(disps):
+        shifted = shift_with_edge_pad(ref64, dx, dy)
+        sad = block_reduce_sum(np.abs(cur64 - shifted), block)
+        sads[i] = sad
+        bits = float(_mv_bits_vec(np.array([dx]), np.array([dy]), zero, zero)[0])
+        costs[i] = sad + lambda_mv * bits
+
+    if not transformed:
+        best_idx = np.argmin(costs, axis=0)
+    else:
+        # TESA: re-rank the top-5 SAD+rate candidates of each block by SATD
+        # (Hadamard-transformed difference), as x264 does.
+        top_k = 5
+        part = np.argpartition(costs, top_k, axis=0)[:top_k]
+        best_idx = np.empty((rows, cols), dtype=np.int64)
+        had = _hadamard_matrix(block)
+        for r in range(rows):
+            for c in range(cols):
+                cur_block = cur64[r * block : (r + 1) * block, c * block : (c + 1) * block]
+                best_cost, best_i = np.inf, int(part[0, r, c])
+                for i in part[:, r, c]:
+                    dx, dy = disps[int(i)]
+                    ref_block = shift_with_edge_pad(ref64, dx, dy)[
+                        r * block : (r + 1) * block, c * block : (c + 1) * block
+                    ]
+                    diff = cur_block - ref_block
+                    satd = float(np.abs(had @ diff @ had.T).sum()) / block
+                    bits = float(_mv_bits_vec(np.array([dx]), np.array([dy]), zero, zero)[0])
+                    cost = satd + lambda_mv * bits
+                    if cost < best_cost:
+                        best_cost, best_i = cost, int(i)
+                best_idx[r, c] = best_i
+
+    disp_arr = np.array(disps, dtype=np.int64)
+    int_mv = disp_arr[best_idx]
+    sad_out = np.take_along_axis(sads, best_idx[None, :, :], axis=0)[0]
+    if subpel:
+        ev = _BlockSadEvaluator(current, reference, search_range, block)
+        dx = int_mv[..., 0].ravel()
+        dy = int_mv[..., 1].ravel()
+        fx, fy = _parabolic_subpel(ev, dx, dy, sad_out.ravel(), block)
+        mv = np.stack([fx, fy], axis=-1).reshape(rows, cols, 2).astype(np.float32)
+    else:
+        mv = int_mv.astype(np.float32)
+    return mv, sad_out
+
+
+def estimate_motion(
+    current: np.ndarray,
+    reference: np.ndarray,
+    *,
+    method: str = "hex",
+    search_range: int = 16,
+    block: int = 16,
+    lambda_mv: float = 4.0,
+    subpel: bool = True,
+) -> MotionEstimate:
+    """Estimate the per-macroblock motion field of ``current`` w.r.t. ``reference``.
+
+    Parameters
+    ----------
+    current, reference:
+        Grayscale frames, dimensions multiples of ``block``.
+    method:
+        One of :data:`ME_METHODS`.
+    search_range:
+        Maximum MV magnitude per axis, pixels.
+    block:
+        Macroblock size (16, as in the paper).
+    lambda_mv:
+        Rate weight on MV bits; larger values give smoother MV fields.
+    subpel:
+        Refine each MV to sub-pixel precision (parabolic SAD fit), as real
+        codecs do with quarter-pel search.  DiVE's geometry (normalised
+        magnitudes, FOE consistency) needs the precision; disable only for
+        speed studies.
+    """
+    if method not in ME_METHODS:
+        raise ValueError(f"unknown motion estimation method {method!r}; choose from {ME_METHODS}")
+    current = np.asarray(current, dtype=np.float32)
+    reference = np.asarray(reference, dtype=np.float32)
+    if current.shape != reference.shape:
+        raise ValueError("current and reference frames must have the same shape")
+    if current.shape[0] % block or current.shape[1] % block:
+        raise ValueError(f"frame shape {current.shape} not a multiple of block {block}")
+    start = time.perf_counter()
+    if method in ("esa", "tesa"):
+        mv, sad = _exhaustive_search(
+            current,
+            reference,
+            search_range=search_range,
+            block=block,
+            lambda_mv=lambda_mv,
+            transformed=(method == "tesa"),
+            subpel=subpel,
+        )
+    else:
+        mv, sad = _pattern_search(
+            current,
+            reference,
+            method=method,
+            search_range=search_range,
+            block=block,
+            lambda_mv=lambda_mv,
+            subpel=subpel,
+        )
+    return MotionEstimate(mv=mv, sad=sad, method=method, elapsed=time.perf_counter() - start)
+
+
+def interpolated_block(
+    ref_pad: np.ndarray, by: int, bx: int, dx: float, dy: float, rng_pad: int, block: int
+) -> np.ndarray:
+    """Reference block for a (possibly fractional) MV, bilinear-interpolated.
+
+    ``ref_pad`` is the reference padded by ``rng_pad`` on every side; the
+    returned block predicts the macroblock at ``(by, bx)`` under content
+    displacement ``(dx, dy)``.
+    """
+    fdx, fdy = int(np.floor(dx)), int(np.floor(dy))
+    ax, ay = dx - fdx, dy - fdy
+    base_r = by - fdy + rng_pad
+    base_c = bx - fdx + rng_pad
+    p00 = ref_pad[base_r : base_r + block, base_c : base_c + block]
+    if ax == 0.0 and ay == 0.0:
+        return p00
+    p01 = ref_pad[base_r : base_r + block, base_c - 1 : base_c - 1 + block]
+    p10 = ref_pad[base_r - 1 : base_r - 1 + block, base_c : base_c + block]
+    p11 = ref_pad[base_r - 1 : base_r - 1 + block, base_c - 1 : base_c - 1 + block]
+    return (
+        (1 - ay) * (1 - ax) * p00
+        + (1 - ay) * ax * p01
+        + ay * (1 - ax) * p10
+        + ay * ax * p11
+    )
+
+
+def motion_compensate(reference: np.ndarray, mv: np.ndarray, *, block: int = 16) -> np.ndarray:
+    """Build the motion-compensated prediction of a frame.
+
+    Each macroblock is sampled from the reference at its position displaced
+    by minus its MV (the content moved *by* the MV to get here); fractional
+    MVs use bilinear interpolation, matching the sub-pixel search.
+    """
+    reference = np.asarray(reference, dtype=np.float32)
+    rows, cols = mv.shape[0], mv.shape[1]
+    rng = int(np.ceil(np.abs(mv).max())) + 2
+    ref_pad = np.pad(reference.astype(np.float64), rng, mode="edge")
+    pred = np.empty_like(reference)
+    for r in range(rows):
+        for c in range(cols):
+            dx, dy = float(mv[r, c, 0]), float(mv[r, c, 1])
+            pred[r * block : (r + 1) * block, c * block : (c + 1) * block] = interpolated_block(
+                ref_pad, r * block, c * block, dx, dy, rng, block
+            )
+    return pred
+
+
+def nonzero_mv_ratio(mv: np.ndarray) -> float:
+    """Fraction of macroblocks with a non-zero motion vector.
+
+    This is the paper's ego-motion statistic eta (Section III-B2, Fig 6).
+    """
+    nonzero = np.any(mv != 0, axis=-1)
+    return float(nonzero.mean())

@@ -1,0 +1,103 @@
+"""Transform coding: 8x8 DCT, quantisation and bit accounting.
+
+The quantiser step follows H.264's exponential law — it doubles every six
+QP values — anchored so that QP 0 is near-lossless on 8-bit video:
+
+    Qstep(QP) = 0.625 * 2^(QP / 6)
+
+Bit costs are an exp-Golomb-style model over the quantised coefficient
+levels plus a small per-8x8-block overhead, which reproduces the two
+properties rate control relies on: bits decrease monotonically with QP and
+grow with residual energy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+__all__ = ["dct_blocks", "dequantize", "idct_blocks", "qstep", "quantize", "transform_cost_bits"]
+
+#: Per-8x8-block fixed overhead (coded-block pattern, EOB) for blocks that
+#: carry coefficients, in bits.
+_BLOCK_OVERHEAD_BITS = 4.0
+#: Amortised cost of an all-zero (skipped) block — real codecs run-length
+#: encode skip flags, so empty blocks are nearly free.
+_SKIP_BLOCK_BITS = 0.25
+_TRANSFORM = 8  # transform block size
+
+
+def qstep(qp: np.ndarray | float) -> np.ndarray | float:
+    """Quantiser step size for a QP value (H.264-style exponential law)."""
+    return 0.625 * np.power(2.0, np.asarray(qp, dtype=float) / 6.0)
+
+
+def dct_blocks(plane: np.ndarray) -> np.ndarray:
+    """Orthonormal 8x8 block DCT of a plane (shape multiple of 8).
+
+    Returns an array shaped ``(rows8, 8, cols8, 8)`` — block-major layout
+    that quantisation and bit counting operate on directly.
+    """
+    h, w = plane.shape
+    if h % _TRANSFORM or w % _TRANSFORM:
+        raise ValueError(f"plane shape {plane.shape} not a multiple of {_TRANSFORM}")
+    blocks = plane.reshape(h // _TRANSFORM, _TRANSFORM, w // _TRANSFORM, _TRANSFORM)
+    return dctn(blocks, axes=(1, 3), norm="ortho")
+
+
+def idct_blocks(coeffs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`dct_blocks`."""
+    blocks = idctn(coeffs, axes=(1, 3), norm="ortho")
+    r8, _, c8, _ = blocks.shape
+    return blocks.reshape(r8 * _TRANSFORM, c8 * _TRANSFORM)
+
+
+def _expand_qstep(qp_per_mb: np.ndarray, mb_size: int) -> np.ndarray:
+    """Per-8x8-block quantiser steps from a per-macroblock QP map."""
+    reps = mb_size // _TRANSFORM
+    q = qstep(qp_per_mb)
+    return np.repeat(np.repeat(q, reps, axis=0), reps, axis=1)
+
+
+def quantize(coeffs: np.ndarray, qp_per_mb: np.ndarray, *, mb_size: int = 16) -> np.ndarray:
+    """Quantise DCT coefficients with a per-macroblock QP map.
+
+    Parameters
+    ----------
+    coeffs:
+        Block-major coefficients from :func:`dct_blocks`.
+    qp_per_mb:
+        ``(mb_rows, mb_cols)`` QP values (floats allowed; typically base QP
+        plus DiVE's offset map).
+    """
+    q = _expand_qstep(np.asarray(qp_per_mb, dtype=float), mb_size)
+    if q.shape != (coeffs.shape[0], coeffs.shape[2]):
+        raise ValueError(
+            f"QP map {qp_per_mb.shape} inconsistent with coefficient blocks "
+            f"{(coeffs.shape[0], coeffs.shape[2])} (mb_size={mb_size})"
+        )
+    return np.round(coeffs / q[:, None, :, None])
+
+
+def dequantize(levels: np.ndarray, qp_per_mb: np.ndarray, *, mb_size: int = 16) -> np.ndarray:
+    """Rescale quantised levels back to coefficient magnitudes."""
+    q = _expand_qstep(np.asarray(qp_per_mb, dtype=float), mb_size)
+    return levels * q[:, None, :, None]
+
+
+def transform_cost_bits(levels: np.ndarray, *, mb_size: int = 16) -> np.ndarray:
+    """Bit cost of the quantised levels, per macroblock.
+
+    Each non-zero level of magnitude ``m`` costs ``2*floor(log2(m)) + 3``
+    bits (signed exp-Golomb), zero levels are free; each 8x8 block carrying
+    any coefficient pays :data:`_BLOCK_OVERHEAD_BITS` of overhead while
+    all-zero blocks cost only the amortised skip-flag
+    :data:`_SKIP_BLOCK_BITS`.  Returns a ``(mb_rows, mb_cols)`` float array.
+    """
+    mag = np.abs(levels)
+    bits = np.where(mag > 0, 2.0 * np.floor(np.log2(np.maximum(mag, 1.0))) + 3.0, 0.0)
+    coeff_bits = bits.sum(axis=(1, 3))
+    per_block = coeff_bits + np.where(coeff_bits > 0, _BLOCK_OVERHEAD_BITS, _SKIP_BLOCK_BITS)
+    reps = mb_size // _TRANSFORM
+    r8, c8 = per_block.shape
+    return per_block.reshape(r8 // reps, reps, c8 // reps, reps).sum(axis=(1, 3))

@@ -1,0 +1,49 @@
+"""The DiVE core: the paper's contribution (Section III).
+
+- :mod:`repro.core.egomotion` — ego-motion judgement from the non-zero
+  motion-vector ratio (III-B2).
+- :mod:`repro.core.rotation` — R-sampling + RANSAC rotational-component
+  elimination (III-B3).
+- :mod:`repro.core.ground` — ground estimation from normalised MV
+  magnitudes (III-C1).
+- :mod:`repro.core.clustering` — region-growing foreground clustering and
+  cluster merging (III-C2).
+- :mod:`repro.core.foreground` — the complete foreground-extraction
+  pipeline, including stopped-agent reuse.
+- :mod:`repro.core.qp` — adaptive delta-QP assignment (III-D2).
+- :mod:`repro.core.tracking` — motion-vector-based offline tracking (III-E).
+- :mod:`repro.core.agent` — the DiVE analytics scheme tying it together.
+"""
+
+from repro.core.agent import DiVEConfig, DiVEScheme
+from repro.core.calibration import FOECalibrator
+from repro.core.clustering import Cluster, merge_clusters, region_grow
+from repro.core.egomotion import EgoMotionJudge
+from repro.core.foreground import ForegroundConfig, ForegroundExtractor, ForegroundResult
+from repro.core.grid import block_centers
+from repro.core.ground import GroundEstimate, estimate_ground
+from repro.core.qp import QPAllocator
+from repro.core.rotation import RotationEstimate, estimate_rotation, r_sample, remove_rotation
+from repro.core.tracking import MotionVectorTracker
+
+__all__ = [
+    "Cluster",
+    "DiVEConfig",
+    "DiVEScheme",
+    "EgoMotionJudge",
+    "FOECalibrator",
+    "ForegroundConfig",
+    "ForegroundExtractor",
+    "ForegroundResult",
+    "GroundEstimate",
+    "MotionVectorTracker",
+    "QPAllocator",
+    "RotationEstimate",
+    "block_centers",
+    "estimate_ground",
+    "estimate_rotation",
+    "merge_clusters",
+    "r_sample",
+    "region_grow",
+    "remove_rotation",
+]

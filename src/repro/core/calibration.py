@@ -1,0 +1,131 @@
+"""Online FOE calibration.
+
+Section III-B3 assumes a *fixed FOE, calibrated when the agent moves
+forward*: on a vehicle, the camera's mounting orientation is constant, so
+the focus of expansion under pure forward motion sits at a fixed image
+point — the principal point only if the camera is mounted perfectly
+straight.  This module estimates that point online: whenever the agent
+drives straight (small estimated yaw rate), the rotation-corrected motion
+field is fed to the least-squares FOE estimator and the calibrated FOE is
+updated by exponential smoothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.grid import block_centers
+from repro.geometry.camera import CameraIntrinsics
+from repro.geometry.foe import estimate_foe, estimate_foe_x
+
+__all__ = ["FOECalibrator"]
+
+
+@dataclass
+class FOECalibrator:
+    """Running estimate of the (fixed) focus of expansion.
+
+    Attributes
+    ----------
+    intrinsics:
+        Camera intrinsics (bounds the plausible FOE region).
+    smoothing:
+        EMA weight of each new per-frame estimate.
+    max_yaw_rate:
+        Frames with a larger estimated yaw increment (radians/frame) are
+        not used — the FOE is only well defined under (near-)pure
+        translation.
+    max_offset_fraction:
+        Per-frame estimates farther than this fraction of the image width
+        from the principal point are rejected as unphysical.
+    min_vectors:
+        Minimum usable vectors for a per-frame estimate.
+    calibrate_y:
+        Also calibrate the FOE's vertical position.  Off by default: the
+        usable vectors come mostly from the road, whose flow lines are
+        nearly parallel vertically, leaving the intersection's
+        y-coordinate ill-conditioned — while a vehicle camera's vertical
+        aim is physically calibrated anyway.  The x-offset (mounting yaw)
+        is the well-conditioned, operationally relevant axis.
+    """
+
+    intrinsics: CameraIntrinsics
+    smoothing: float = 0.15
+    max_yaw_rate: float = 0.002
+    max_offset_fraction: float = 0.12
+    min_vectors: int = 24
+    calibrate_y: bool = False
+    block: int = 16
+    _foe: tuple[float, float] = field(default=(0.0, 0.0), init=False)
+    _updates: int = field(default=0, init=False)
+
+    @property
+    def foe(self) -> tuple[float, float]:
+        """The current calibrated FOE, centred coordinates."""
+        return self._foe
+
+    @property
+    def calibrated(self) -> bool:
+        """True once at least one straight-driving frame contributed."""
+        return self._updates > 0
+
+    def reset(self) -> None:
+        self._foe = (0.0, 0.0)
+        self._updates = 0
+
+    def update(
+        self,
+        corrected_mv: np.ndarray,
+        *,
+        moving: bool,
+        dphi: tuple[float, float] | None = None,
+    ) -> tuple[float, float]:
+        """Feed one frame's rotation-corrected motion field.
+
+        Parameters
+        ----------
+        corrected_mv:
+            ``(rows, cols, 2)`` rotation-corrected motion field.
+        moving:
+            Ego-motion judgement for the frame.
+        dphi:
+            Estimated ``(pitch, yaw)`` increments for the frame; frames
+            with a large yaw increment are skipped.
+
+        Returns
+        -------
+        The (possibly updated) calibrated FOE.
+        """
+        if not moving:
+            return self._foe
+        if dphi is not None and abs(dphi[1]) > self.max_yaw_rate:
+            return self._foe
+        x, y = block_centers(corrected_mv.shape[:2], self.intrinsics, block=self.block)
+        vx = corrected_mv[..., 0].ravel()
+        vy = corrected_mv[..., 1].ravel()
+        mag = np.hypot(vx, vy)
+        usable = mag >= 0.5
+        if int(usable.sum()) < self.min_vectors:
+            return self._foe
+        if self.calibrate_y:
+            est = estimate_foe(x.ravel()[usable], y.ravel()[usable], vx[usable], vy[usable])
+            if est is None:
+                return self._foe
+            est_x, est_y = est
+        else:
+            est_1d = estimate_foe_x(x.ravel()[usable], y.ravel()[usable], vx[usable], vy[usable])
+            if est_1d is None:
+                return self._foe
+            est_x, est_y = est_1d, 0.0
+        limit = self.max_offset_fraction * self.intrinsics.width
+        if abs(est_x) > limit or abs(est_y) > limit:
+            return self._foe
+        if self._updates == 0:
+            self._foe = (est_x, est_y)
+        else:
+            a = self.smoothing
+            self._foe = ((1 - a) * self._foe[0] + a * est_x, (1 - a) * self._foe[1] + a * est_y)
+        self._updates += 1
+        return self._foe

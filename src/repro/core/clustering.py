@@ -1,0 +1,198 @@
+"""Region-growing foreground clustering and cluster merging (Section III-C2).
+
+Starting from the foreground seeds (non-ground macroblocks standing inside
+the ground region), a breadth-first search grows each cluster across
+4-connected neighbours whose motion vector is similar both to the current
+block *and* to the cluster's running mean — the second condition is the
+paper's guard against over-growing into the background.
+
+Because codec motion vectors are sparse and coarse, a single object often
+fragments into several clusters with holes; clusters whose mean vectors
+point in similar directions are therefore merged iteratively, and the final
+foreground regions are the convex contours of the merged clusters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.convexhull import convex_hull, rasterize_polygon
+
+__all__ = ["Cluster", "merge_clusters", "region_grow", "clusters_to_mask"]
+
+
+@dataclass
+class Cluster:
+    """A cluster of macroblocks with its running mean motion vector."""
+
+    blocks: list[tuple[int, int]] = field(default_factory=list)
+    mean_mv: np.ndarray = field(default_factory=lambda: np.zeros(2))
+
+    def add(self, block: tuple[int, int], mv: np.ndarray) -> None:
+        n = len(self.blocks)
+        self.mean_mv = (self.mean_mv * n + mv) / (n + 1)
+        self.blocks.append(block)
+
+    @property
+    def size(self) -> int:
+        return len(self.blocks)
+
+    def bounding_box(self) -> tuple[int, int, int, int]:
+        """``(r0, c0, r1, c1)`` inclusive-exclusive block bounds."""
+        rows = [b[0] for b in self.blocks]
+        cols = [b[1] for b in self.blocks]
+        return min(rows), min(cols), max(rows) + 1, max(cols) + 1
+
+
+def region_grow(
+    mv: np.ndarray,
+    seed_mask: np.ndarray,
+    *,
+    blocked_mask: np.ndarray | None = None,
+    similarity: float = 1.5,
+    min_cluster_size: int = 1,
+    min_magnitude: float = 0.3,
+) -> list[Cluster]:
+    """Grow clusters from seeds by BFS over similar motion vectors.
+
+    Parameters
+    ----------
+    mv:
+        ``(rows, cols, 2)`` motion field (float).
+    seed_mask:
+        Boolean mask of seed macroblocks.
+    blocked_mask:
+        Macroblocks clusters may never grow into (the classified ground).
+    similarity:
+        Maximum Euclidean MV difference (pixels) for a neighbour to join,
+        applied against both the neighbouring block and the cluster mean.
+    min_cluster_size:
+        Clusters smaller than this are discarded.
+    min_magnitude:
+        Blocks whose MV is shorter than this carry no motion evidence and
+        can never be grown into.  Without this, clusters creep across the
+        zero-MV sky/haze blocks (whose vectors trivially resemble any small
+        mean) and eventually swallow the whole frame.
+    """
+    rows, cols = mv.shape[:2]
+    if seed_mask.shape != (rows, cols):
+        raise ValueError(f"seed mask shape {seed_mask.shape} != grid {(rows, cols)}")
+    blocked = np.zeros((rows, cols), dtype=bool) if blocked_mask is None else blocked_mask
+    magnitude = np.hypot(mv[..., 0], mv[..., 1])
+    visited = blocked | (magnitude < min_magnitude)
+    visited &= ~seed_mask.astype(bool)  # seeds always start their cluster
+    clusters: list[Cluster] = []
+    mvf = mv.astype(float)
+
+    seeds = list(zip(*np.nonzero(seed_mask)))
+    for seed in seeds:
+        r0, c0 = int(seed[0]), int(seed[1])
+        if visited[r0, c0]:
+            continue
+        cluster = Cluster()
+        cluster.add((r0, c0), mvf[r0, c0])
+        visited[r0, c0] = True
+        queue: deque[tuple[int, int]] = deque([(r0, c0)])
+        while queue:
+            r, c = queue.popleft()
+            v_here = mvf[r, c]
+            for dr, dc in ((0, 1), (0, -1), (1, 0), (-1, 0)):
+                nr, nc = r + dr, c + dc
+                if not (0 <= nr < rows and 0 <= nc < cols) or visited[nr, nc]:
+                    continue
+                v_n = mvf[nr, nc]
+                if (
+                    np.hypot(*(v_n - v_here)) <= similarity
+                    and np.hypot(*(v_n - cluster.mean_mv)) <= similarity
+                ):
+                    visited[nr, nc] = True
+                    cluster.add((nr, nc), v_n)
+                    queue.append((nr, nc))
+        if cluster.size >= min_cluster_size:
+            clusters.append(cluster)
+    return clusters
+
+
+def _direction_angle(a: np.ndarray, b: np.ndarray) -> float:
+    """Angle (radians) between two mean MVs; pi when either is ~zero."""
+    na, nb = np.hypot(*a), np.hypot(*b)
+    if na < 1e-9 or nb < 1e-9:
+        return np.pi
+    cos = float(np.clip(np.dot(a, b) / (na * nb), -1.0, 1.0))
+    return float(np.arccos(cos))
+
+
+def _block_distance(a: Cluster, b: Cluster) -> int:
+    """Minimum Chebyshev distance between the clusters' blocks."""
+    ab = np.array(a.blocks)
+    bb = np.array(b.blocks)
+    d = np.abs(ab[:, None, :] - bb[None, :, :]).max(axis=2)
+    return int(d.min())
+
+
+def merge_clusters(
+    clusters: list[Cluster],
+    *,
+    max_angle: float = np.pi / 8,
+    max_magnitude_ratio: float = 2.5,
+    max_distance: int = 2,
+) -> list[Cluster]:
+    """Iteratively merge nearby clusters with similar mean-MV directions.
+
+    Two clusters merge when their mean vectors point within ``max_angle``
+    of each other, their magnitudes differ by at most a factor of
+    ``max_magnitude_ratio``, and they lie within ``max_distance`` blocks.
+    Repeats until a fixpoint, as in the paper.
+    """
+    merged = [Cluster(blocks=list(c.blocks), mean_mv=c.mean_mv.copy()) for c in clusters]
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(merged)):
+            if merged[i] is None:
+                continue
+            for j in range(i + 1, len(merged)):
+                if merged[j] is None:
+                    continue
+                a, b = merged[i], merged[j]
+                if _direction_angle(a.mean_mv, b.mean_mv) > max_angle:
+                    continue
+                ma, mb = np.hypot(*a.mean_mv), np.hypot(*b.mean_mv)
+                lo, hi = min(ma, mb), max(ma, mb)
+                if lo > 1e-9 and hi / lo > max_magnitude_ratio:
+                    continue
+                if _block_distance(a, b) > max_distance:
+                    continue
+                total = a.size + b.size
+                a.mean_mv = (a.mean_mv * a.size + b.mean_mv * b.size) / total
+                a.blocks.extend(b.blocks)
+                merged[j] = None
+                changed = True
+    return [c for c in merged if c is not None]
+
+
+def clusters_to_mask(clusters: list[Cluster], grid_shape: tuple[int, int]) -> np.ndarray:
+    """Foreground mask: the convex contour of each cluster, rasterised.
+
+    This is the final step of Fig 8 — filling the holes that sparse motion
+    vectors leave inside objects.
+    """
+    mask = np.zeros(grid_shape, dtype=bool)
+    for cluster in clusters:
+        pts = np.array([(c, r) for r, c in cluster.blocks], dtype=float)
+        if len(pts) == 0:
+            continue
+        if len(pts) < 3:
+            for r, c in cluster.blocks:
+                mask[r, c] = True
+            continue
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            for r, c in cluster.blocks:
+                mask[r, c] = True
+            continue
+        mask |= rasterize_polygon(hull, grid_shape)
+    return mask

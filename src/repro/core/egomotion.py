@@ -1,0 +1,77 @@
+"""Ego-motion judgement (Section III-B2).
+
+Observation 1 only holds while the agent translates, so DiVE must know
+whether it is moving before trusting the motion-vector geometry.  The
+paper's statistic is the non-zero motion-vector ratio eta: when the agent
+is stopped almost every macroblock matches at zero displacement, while any
+translation sweeps non-zero vectors across most of the frame.  A fixed
+threshold (eta > 0.15) separates the two states with high probability
+(Fig 6a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.motion import nonzero_mv_ratio
+
+__all__ = ["EgoMotionJudge"]
+
+
+@dataclass
+class EgoMotionJudge:
+    """Stateful moving/stopped classifier over a frame stream.
+
+    Attributes
+    ----------
+    threshold:
+        The eta threshold (paper value 0.15).
+    hysteresis:
+        Number of consecutive frames the raw judgement must persist before
+        the published state flips; 1 disables smoothing.  A small amount of
+        hysteresis suppresses single-frame flicker around the threshold
+        (e.g. the first frame of a gentle start).
+    """
+
+    threshold: float = 0.15
+    hysteresis: int = 1
+    _state: bool = field(default=False, init=False)
+    _streak: int = field(default=0, init=False)
+    _initialized: bool = field(default=False, init=False)
+
+    def eta(self, mv: np.ndarray) -> float:
+        """The non-zero MV ratio of a motion field."""
+        return nonzero_mv_ratio(mv)
+
+    def judge_raw(self, mv: np.ndarray) -> bool:
+        """Stateless judgement of a single frame."""
+        return self.eta(mv) > self.threshold
+
+    def update(self, mv: np.ndarray) -> bool:
+        """Feed one frame's motion field; returns the (smoothed) state."""
+        raw = self.judge_raw(mv)
+        if not self._initialized:
+            self._state = raw
+            self._streak = 0
+            self._initialized = True
+            return self._state
+        if raw == self._state:
+            self._streak = 0
+        else:
+            self._streak += 1
+            if self._streak >= self.hysteresis:
+                self._state = raw
+                self._streak = 0
+        return self._state
+
+    @property
+    def moving(self) -> bool:
+        """Last published state (False before any update)."""
+        return self._state
+
+    def reset(self) -> None:
+        self._state = False
+        self._streak = 0
+        self._initialized = False

@@ -1,0 +1,39 @@
+"""Macroblock-grid geometry helpers shared by the core modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.camera import CameraIntrinsics
+
+__all__ = ["block_centers"]
+
+
+def block_centers(
+    grid_shape: tuple[int, int],
+    intrinsics: CameraIntrinsics,
+    *,
+    block: int = 16,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Centred image coordinates of every macroblock centre.
+
+    Parameters
+    ----------
+    grid_shape:
+        ``(mb_rows, mb_cols)``.
+    intrinsics:
+        Camera intrinsics (for the principal point).
+    block:
+        Macroblock size in pixels.
+
+    Returns
+    -------
+    ``(x, y)`` arrays of shape ``grid_shape``, in principal-point-centred
+    coordinates — the coordinates the paper's flow equations use.
+    """
+    rows, cols = grid_shape
+    px = (np.arange(cols) + 0.5) * block - 0.5
+    py = (np.arange(rows) + 0.5) * block - 0.5
+    xs, ys = intrinsics.centered_from_pixels(px, py)
+    x_grid, y_grid = np.meshgrid(xs, ys)
+    return x_grid, y_grid

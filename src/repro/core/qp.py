@@ -1,0 +1,62 @@
+"""Optimal QP assignment (Section III-D2, Fig 11).
+
+Foreground macroblocks get QP offset 0; background macroblocks get offset
+delta.  DiVE's *adaptive* delta is proportional to the size of the
+extracted foreground: a large extracted foreground is more likely to have
+covered every real object, so the background can safely be compressed much
+harder, while a small foreground leaves more risk that something real sits
+in the background and the gap is kept moderate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["QPAllocator"]
+
+
+@dataclass(frozen=True)
+class QPAllocator:
+    """Builds the per-macroblock QP offset map.
+
+    Attributes
+    ----------
+    delta:
+        Fixed foreground/background QP gap; ``None`` selects the adaptive
+        rule (the paper's design).
+    coefficient:
+        Adaptive rule: ``delta = coefficient * foreground_fraction``.  The
+        default maps typical foreground sizes (15-50 %) onto deltas of
+        ~6-20 — aggressive enough to matter at low bitrate, hedged enough
+        that a foreground-extraction miss is not fatal.
+    min_delta, max_delta:
+        Clamp on the adaptive delta.
+    """
+
+    delta: float | None = None
+    coefficient: float = 40.0
+    min_delta: float = 5.0
+    max_delta: float = 24.0
+
+    @property
+    def adaptive(self) -> bool:
+        return self.delta is None
+
+    def delta_for(self, foreground_fraction: float) -> float:
+        """The foreground/background QP gap for a given foreground size."""
+        if self.delta is not None:
+            return float(self.delta)
+        return float(np.clip(self.coefficient * foreground_fraction, self.min_delta, self.max_delta))
+
+    def offsets(self, foreground_mask: np.ndarray) -> tuple[np.ndarray, float]:
+        """QP offset map for a foreground mask.
+
+        Returns ``(offsets, delta)`` where foreground macroblocks have
+        offset 0 and background macroblocks offset ``delta``.
+        """
+        mask = np.asarray(foreground_mask, dtype=bool)
+        delta = self.delta_for(float(mask.mean()))
+        offsets = np.where(mask, 0.0, delta)
+        return offsets, delta

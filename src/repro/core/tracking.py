@@ -1,0 +1,94 @@
+"""Motion-vector-based offline tracking (Section III-E, Fig 13).
+
+When the uplink is out, the agent keeps serving detections locally: each
+cached bounding box is moved by the mean of the motion vectors inside it.
+Confidence decays per tracked frame, modelling the growing drift — which
+is also why prolonged tracking degrades accuracy (the paper's observation
+about O3/EAAR-style pipelines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.edge.detector import Detection
+
+__all__ = ["MotionVectorTracker"]
+
+
+@dataclass
+class MotionVectorTracker:
+    """Tracks cached detections across frames using codec motion vectors.
+
+    Attributes
+    ----------
+    block:
+        Macroblock size of the motion field.
+    confidence_decay:
+        Multiplicative confidence decay per tracked frame.
+    """
+
+    block: int = 16
+    confidence_decay: float = 0.96
+    _detections: list[Detection] = field(default_factory=list, init=False)
+    _frames_since_update: int = field(default=0, init=False)
+
+    def reset(self) -> None:
+        self._detections = []
+        self._frames_since_update = 0
+
+    @property
+    def detections(self) -> list[Detection]:
+        """Current (possibly tracked-forward) detection set."""
+        return list(self._detections)
+
+    @property
+    def frames_since_update(self) -> int:
+        """Frames elapsed since the last edge result was ingested."""
+        return self._frames_since_update
+
+    def update(self, detections: list[Detection]) -> None:
+        """Ingest a fresh edge-inference result."""
+        self._detections = list(detections)
+        self._frames_since_update = 0
+
+    def track(self, mv: np.ndarray) -> list[Detection]:
+        """Advance every cached box by the mean MV inside it.
+
+        Parameters
+        ----------
+        mv:
+            ``(rows, cols, 2)`` motion field of the *current* frame (content
+            displacement from the previous frame).
+
+        Returns
+        -------
+        The tracked detections (also retained as the new cache).
+        """
+        rows, cols = mv.shape[:2]
+        tracked: list[Detection] = []
+        for det in self._detections:
+            x0, y0, x1, y1 = det.bbox
+            c0 = int(np.clip(np.floor(x0 / self.block), 0, cols - 1))
+            c1 = int(np.clip(np.ceil(x1 / self.block), c0 + 1, cols))
+            r0 = int(np.clip(np.floor(y0 / self.block), 0, rows - 1))
+            r1 = int(np.clip(np.ceil(y1 / self.block), r0 + 1, rows))
+            region = mv[r0:r1, c0:c1].reshape(-1, 2).astype(float)
+            if region.size == 0:
+                mean = np.zeros(2)
+            else:
+                mean = region.mean(axis=0)
+            moved = det.shifted(float(mean[0]), float(mean[1]))
+            tracked.append(
+                Detection(
+                    kind=moved.kind,
+                    bbox=moved.bbox,
+                    confidence=moved.confidence * self.confidence_decay,
+                    object_id=moved.object_id,
+                )
+            )
+        self._detections = tracked
+        self._frames_since_update += 1
+        return list(tracked)

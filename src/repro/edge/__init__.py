@@ -1,0 +1,26 @@
+"""Edge-server side: decoding, detection and accuracy metrics.
+
+The detector is a *surrogate* for the pre-trained DNN the paper runs at the
+edge: its per-object detection probability is a calibrated monotone
+function of local reconstruction quality (region PSNR), apparent size and
+visibility, with quality-dependent localisation jitter and false positives.
+As in the paper, ground truth for the AP metric is the detector's own
+output on raw (uncompressed) frames.
+"""
+
+from repro.edge.detector import Detection, DetectorModel, QualityAwareDetector
+from repro.edge.evaluation import average_precision, evaluate_detections, iou, match_greedy, mean_ap
+from repro.edge.server import EdgeServer, InferenceResult
+
+__all__ = [
+    "Detection",
+    "DetectorModel",
+    "EdgeServer",
+    "InferenceResult",
+    "QualityAwareDetector",
+    "average_precision",
+    "evaluate_detections",
+    "iou",
+    "match_greedy",
+    "mean_ap",
+]

@@ -1,0 +1,124 @@
+"""Detection matching and Average Precision.
+
+Implements the paper's precision metric: per-class AP at IoU 0.5 with the
+detector's raw-frame output as ground truth, and mAP as the mean over the
+car and pedestrian classes.  AP uses all-point interpolation over the
+precision-recall curve (the COCO/PASCAL-2010 convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.edge.detector import Detection
+
+__all__ = ["average_precision", "evaluate_detections", "iou", "match_greedy", "mean_ap"]
+
+
+def iou(box_a: tuple[float, float, float, float], box_b: tuple[float, float, float, float]) -> float:
+    """Intersection-over-union of two ``(x0, y0, x1, y1)`` boxes."""
+    ax0, ay0, ax1, ay1 = box_a
+    bx0, by0, bx1, by1 = box_b
+    ix0, iy0 = max(ax0, bx0), max(ay0, by0)
+    ix1, iy1 = min(ax1, bx1), min(ay1, by1)
+    iw, ih = max(0.0, ix1 - ix0), max(0.0, iy1 - iy0)
+    inter = iw * ih
+    if inter == 0.0:
+        return 0.0
+    area_a = (ax1 - ax0) * (ay1 - ay0)
+    area_b = (bx1 - bx0) * (by1 - by0)
+    return inter / (area_a + area_b - inter)
+
+
+def match_greedy(
+    predictions: list[Detection],
+    ground_truths: list[Detection],
+    *,
+    iou_threshold: float = 0.5,
+) -> list[tuple[float, bool]]:
+    """Greedy confidence-ordered matching within one frame.
+
+    Returns one ``(confidence, is_true_positive)`` record per prediction.
+    Each ground truth can be matched at most once.
+    """
+    order = sorted(range(len(predictions)), key=lambda i: -predictions[i].confidence)
+    taken = [False] * len(ground_truths)
+    records = []
+    for i in order:
+        pred = predictions[i]
+        best_j, best_iou = -1, iou_threshold
+        for j, gt in enumerate(ground_truths):
+            if taken[j] or gt.kind != pred.kind:
+                continue
+            v = iou(pred.bbox, gt.bbox)
+            if v >= best_iou:
+                best_iou, best_j = v, j
+        if best_j >= 0:
+            taken[best_j] = True
+            records.append((pred.confidence, True))
+        else:
+            records.append((pred.confidence, False))
+    return records
+
+
+def average_precision(
+    predictions_per_frame: list[list[Detection]],
+    ground_truth_per_frame: list[list[Detection]],
+    *,
+    kind: str,
+    iou_threshold: float = 0.5,
+) -> float:
+    """AP for one class over a clip (all-point interpolation).
+
+    Frames are matched independently; the PR curve is built over the pooled
+    confidence-ranked predictions.  Returns 1.0 when there are neither
+    ground truths nor predictions of the class (nothing to get wrong), and
+    0.0 when there are ground truths but no predictions.
+    """
+    if len(predictions_per_frame) != len(ground_truth_per_frame):
+        raise ValueError("prediction and ground-truth lists must align per frame")
+    records: list[tuple[float, bool]] = []
+    n_gt = 0
+    for preds, gts in zip(predictions_per_frame, ground_truth_per_frame):
+        preds_k = [p for p in preds if p.kind == kind]
+        gts_k = [g for g in gts if g.kind == kind]
+        n_gt += len(gts_k)
+        records.extend(match_greedy(preds_k, gts_k, iou_threshold=iou_threshold))
+    if n_gt == 0:
+        return 1.0 if not records else 0.0
+    if not records:
+        return 0.0
+    records.sort(key=lambda r: -r[0])
+    tp = np.cumsum([r[1] for r in records])
+    fp = np.cumsum([not r[1] for r in records])
+    recall = tp / n_gt
+    precision = tp / np.maximum(tp + fp, 1)
+    # All-point interpolation: make precision monotonically non-increasing
+    # from the right, then integrate over recall steps.
+    precision = np.maximum.accumulate(precision[::-1])[::-1]
+    recall = np.concatenate([[0.0], recall])
+    precision = np.concatenate([[precision[0] if len(precision) else 0.0], precision])
+    return float(np.sum((recall[1:] - recall[:-1]) * precision[1:]))
+
+
+def evaluate_detections(
+    predictions_per_frame: list[list[Detection]],
+    ground_truth_per_frame: list[list[Detection]],
+    *,
+    kinds: tuple[str, ...] = ("car", "pedestrian"),
+    iou_threshold: float = 0.5,
+) -> dict[str, float]:
+    """Per-class AP plus mAP for a clip."""
+    result = {
+        kind: average_precision(
+            predictions_per_frame, ground_truth_per_frame, kind=kind, iou_threshold=iou_threshold
+        )
+        for kind in kinds
+    }
+    result["mAP"] = float(np.mean([result[k] for k in kinds]))
+    return result
+
+
+def mean_ap(per_class: dict[str, float], kinds: tuple[str, ...] = ("car", "pedestrian")) -> float:
+    """Mean AP over the given classes."""
+    return float(np.mean([per_class[k] for k in kinds]))

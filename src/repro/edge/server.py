@@ -1,0 +1,98 @@
+"""Edge server: decode, infer, return results.
+
+Models the serverless edge computing fabric of the system model: ample
+compute, a fixed model-inference latency, and a downlink that returns the
+(small) detection results to the agent with half an RTT of delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codec.decoder import VideoDecoder
+from repro.codec.encoder import EncodedFrame
+from repro.edge.detector import Detection, QualityAwareDetector
+from repro.world.annotations import FrameRecord
+
+__all__ = ["EdgeServer", "InferenceResult"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Detections for one frame plus when the agent learns about them.
+
+    Attributes
+    ----------
+    frame_index:
+        Index of the analysed frame.
+    detections:
+        Detector output.
+    arrival_time:
+        When the encoded frame finished arriving at the server.
+    result_time:
+        When the result lands back at the agent (arrival + inference +
+        downlink).
+    """
+
+    frame_index: int
+    detections: list[Detection]
+    arrival_time: float
+    result_time: float
+
+
+class EdgeServer:
+    """Decodes uploaded frames and runs the (surrogate) detector.
+
+    Parameters
+    ----------
+    detector:
+        The detector; a default-calibrated one when omitted.
+    inference_latency:
+        Seconds of DNN inference per frame on the serverless fabric.
+    downlink_latency:
+        Seconds for the result message to reach the agent.
+    """
+
+    def __init__(
+        self,
+        detector: QualityAwareDetector | None = None,
+        *,
+        inference_latency: float = 0.020,
+        downlink_latency: float = 0.010,
+    ):
+        self.detector = detector or QualityAwareDetector()
+        self.inference_latency = float(inference_latency)
+        self.downlink_latency = float(downlink_latency)
+        self._decoder = VideoDecoder()
+
+    def reset(self) -> None:
+        """Drop decoder state (new stream / after an intra refresh request)."""
+        self._decoder.reset()
+
+    def process(self, encoded: EncodedFrame, record: FrameRecord, *, arrival_time: float) -> InferenceResult:
+        """Decode an uploaded frame, run inference, schedule the reply."""
+        decoded = self._decoder.decode(encoded)
+        detections = self.detector.detect(decoded, record)
+        return InferenceResult(
+            frame_index=record.index,
+            detections=detections,
+            arrival_time=arrival_time,
+            result_time=arrival_time + self.inference_latency + self.downlink_latency,
+        )
+
+    def process_image(self, image: np.ndarray, record: FrameRecord, *, arrival_time: float) -> InferenceResult:
+        """Run inference on an already-decoded image (used by schemes that
+        upload regions rather than codec streams)."""
+        detections = self.detector.detect(image, record)
+        return InferenceResult(
+            frame_index=record.index,
+            detections=detections,
+            arrival_time=arrival_time,
+            result_time=arrival_time + self.inference_latency + self.downlink_latency,
+        )
+
+    def ground_truth(self, record: FrameRecord) -> list[Detection]:
+        """Raw-frame detections — the evaluation ground truth."""
+        return self.detector.ground_truth(record)

@@ -1,0 +1,69 @@
+"""Ablations of DiVE's design choices (beyond the paper's own figures).
+
+DESIGN.md calls out three choices whose value the paper argues for but
+never isolates end-to-end; this module measures each by toggling it inside
+the full pipeline at a fixed bandwidth:
+
+- rotational-component elimination (Section III-B3),
+- the FOE-consistency noise filter in ground estimation (Section III-C1),
+- cluster merging (Section III-C2),
+- and the temporal union this reproduction adds for MV flicker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.agent import DiVEConfig, DiVEScheme
+from repro.core.foreground import ForegroundConfig
+from repro.experiments.config import ExperimentConfig, dataset_clips, scaled_bandwidth
+from repro.experiments.runner import ground_truth_for, run_scheme
+from repro.network.trace import constant_trace
+
+__all__ = ["AblationResult", "run_ablation"]
+
+
+@dataclass
+class AblationResult:
+    """mAP of one pipeline variant."""
+
+    variant: str
+    map: float
+    response_time: float
+
+
+def _variants() -> dict[str, DiVEConfig]:
+    base = DiVEConfig()
+    return {
+        "full": base,
+        "no-rotation-removal": replace(base, enable_rotation_removal=False),
+        "no-foe-filter": replace(base, foreground=replace(ForegroundConfig(), enable_foe_filter=False)),
+        "no-cluster-merging": replace(base, foreground=replace(ForegroundConfig(), enable_merging=False)),
+        "no-temporal-union": replace(base, foreground=replace(ForegroundConfig(), temporal_window=1)),
+    }
+
+
+def run_ablation(
+    config: ExperimentConfig | None = None,
+    *,
+    bandwidth_mbps: float = 2.0,
+    dataset: str = "nuscenes",
+) -> list[AblationResult]:
+    """Run every ablation variant on the same clips and bandwidth."""
+    config = config or ExperimentConfig()
+    clips = dataset_clips(dataset, config)
+    gts = [ground_truth_for(c, detector_seed=config.detector_seed) for c in clips]
+    results = []
+    for name, cfg in _variants().items():
+        maps, rts = [], []
+        for clip, gt in zip(clips, gts):
+            trace = constant_trace(scaled_bandwidth(bandwidth_mbps, clip))
+            res = run_scheme(DiVEScheme(cfg), clip, trace, detector_seed=config.detector_seed, ground_truth=gt)
+            maps.append(res.map)
+            rts.append(res.mean_response_time)
+        results.append(
+            AblationResult(variant=name, map=float(np.mean(maps)), response_time=float(np.mean(rts)))
+        )
+    return results

@@ -1,0 +1,152 @@
+"""Fig 7 — efficiency of R-sampling, and Fig 10 — the effect of k.
+
+Rotation speeds estimated from codec motion vectors are compared against
+the trajectory's gyro ground truth (the KITTI-IMU stand-in):
+
+- Fig 7a/b: CDFs of the estimation error of omega_x / omega_y for
+  R-sampling with k=30 vs. random sampling with k=30 and k=500.
+- Fig 7c: the omega_y time series of one clip.
+- Fig 10a/b: estimation error and RANSAC time as functions of k.
+
+Motion fields are computed once per frame and shared by every sampling
+configuration, as they would be inside the encoder.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codec.motion import MotionEstimate, estimate_motion
+from repro.core.rotation import estimate_rotation
+from repro.experiments.config import ExperimentConfig
+from repro.world.datasets import Clip, kitti_like
+
+__all__ = ["KSweepResult", "RotationStudy", "collect_fields", "run_fig07", "run_fig10"]
+
+
+@dataclass
+class RotationStudy:
+    """Fig 7 results: per-frame |omega| errors per sampling strategy.
+
+    ``errors_x`` / ``errors_y`` map strategy labels (``r30``, ``rand30``,
+    ``rand500``) to arrays of absolute rotation-speed errors (rad/s);
+    ``series`` is ``(times, omega_y_estimated, omega_y_truth)`` of one clip.
+    """
+
+    errors_x: dict[str, np.ndarray]
+    errors_y: dict[str, np.ndarray]
+    series: tuple[np.ndarray, np.ndarray, np.ndarray]
+
+    def summary(self) -> list[tuple[str, float, float]]:
+        """(strategy, median |err omega_x|, median |err omega_y|) rows."""
+        return [
+            (name, float(np.median(self.errors_x[name])), float(np.median(self.errors_y[name])))
+            for name in self.errors_x
+        ]
+
+
+@dataclass
+class KSweepResult:
+    """Fig 10 results: error and time vs. the number of sampled points."""
+
+    ks: list[int]
+    errors: list[float]
+    times: list[float]
+
+
+def collect_fields(
+    config: ExperimentConfig | None = None,
+) -> list[tuple[Clip, list[tuple[MotionEstimate, float, float, float]]]]:
+    """Motion fields plus gyro ground truth for the KITTI-like clips.
+
+    Returns, per clip, a list of ``(motion, gt_pitch_rate, gt_yaw_rate,
+    time)`` tuples — the shared input of the Fig 7 and Fig 10 studies.
+    """
+    config = config or ExperimentConfig()
+    out = []
+    for seed in range(config.n_clips):
+        clip = kitti_like(seed, n_frames=config.n_frames)
+        fields = []
+        prev = None
+        for i in range(clip.n_frames):
+            record = clip.frame(i)
+            if prev is not None:
+                me = estimate_motion(
+                    record.image, prev, method="hex", search_range=max(16, clip.intrinsics.width // 20)
+                )
+                fields.append((me, record.ego.pitch_rate, record.ego.yaw_rate, record.time))
+            prev = record.image
+        out.append((clip, fields))
+    return out
+
+
+def run_fig07(config: ExperimentConfig | None = None, *, data=None) -> RotationStudy:
+    """Reproduce Fig 7 (pass ``data`` from :func:`collect_fields` to share
+    motion fields with Fig 10)."""
+    config = config or ExperimentConfig()
+    if data is None:
+        data = collect_fields(config)
+    strategies = {"r30": ("r", 30), "rand30": ("random", 30), "rand500": ("random", 500)}
+    errors_x = {name: [] for name in strategies}
+    errors_y = {name: [] for name in strategies}
+    series = None
+    for clip, fields in data:
+        fps = clip.fps
+        est_series, gt_series, t_series = [], [], []
+        for me, gt_pitch_rate, gt_yaw_rate, t in fields:
+            for name, (mode, k) in strategies.items():
+                est = estimate_rotation(
+                    me.mv, clip.intrinsics, k=k, sampling=mode, rng=np.random.default_rng(int(t * 1000))
+                )
+                if est is None:
+                    continue
+                wx, wy = est.rates(fps)
+                errors_x[name].append(abs(wx - gt_pitch_rate))
+                errors_y[name].append(abs(wy - gt_yaw_rate))
+                if name == "r30":
+                    est_series.append(wy)
+                    gt_series.append(gt_yaw_rate)
+                    t_series.append(t)
+        if series is None and est_series:
+            series = (np.array(t_series), np.array(est_series), np.array(gt_series))
+    return RotationStudy(
+        errors_x={k: np.array(v) for k, v in errors_x.items()},
+        errors_y={k: np.array(v) for k, v in errors_y.items()},
+        series=series,
+    )
+
+
+def run_fig10(
+    config: ExperimentConfig | None = None,
+    *,
+    ks: list[int] | None = None,
+    data=None,
+) -> KSweepResult:
+    """Reproduce Fig 10: rotation error and RANSAC time vs. k."""
+    config = config or ExperimentConfig()
+    if ks is None:
+        ks = list(range(10, 101, 5))
+    if data is None:
+        data = collect_fields(config)
+    errors, times = [], []
+    for k in ks:
+        errs = []
+        start = time.perf_counter()
+        n = 0
+        for clip, fields in data:
+            for me, gt_pitch_rate, gt_yaw_rate, t in fields:
+                est = estimate_rotation(
+                    me.mv, clip.intrinsics, k=k, rng=np.random.default_rng(int(t * 1000) + k)
+                )
+                n += 1
+                if est is None:
+                    continue
+                wx, wy = est.rates(clip.fps)
+                errs.append(np.hypot(wx - gt_pitch_rate, wy - gt_yaw_rate))
+        times.append((time.perf_counter() - start) / max(n, 1))
+        # Median: single bad frames (turn onsets) would otherwise dominate.
+        errors.append(float(np.median(errs)) if errs else float("nan"))
+    return KSweepResult(ks=list(ks), errors=errors, times=times)

@@ -1,0 +1,84 @@
+"""Figs 16 & 17 — end-to-end comparison of all schemes.
+
+mAP and mean response time of DiVE, DDS, EAAR and O3 across uplink
+bandwidths 1-5 Mbps on RobotCar-like (Fig 16) and nuScenes-like (Fig 17)
+clips.  The paper's findings, all of which this harness reproduces in
+shape:
+
+- DiVE achieves the highest mAP at every bandwidth, with the largest
+  margin over DDS at low bandwidth (up to +39.1 % / +17.6 % in the paper).
+- DDS is the closest competitor in accuracy but pays two uplink trips per
+  frame, so its response time is the highest.
+- EAAR is fast (tracking most frames locally) but far less accurate; O3 is
+  cheapest and least accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines import DDSScheme, EAARScheme, O3Scheme
+from repro.core.agent import DiVEScheme
+from repro.experiments.config import ExperimentConfig, dataset_clips, scaled_bandwidth
+from repro.experiments.runner import ground_truth_for, run_scheme
+from repro.network.trace import constant_trace
+
+__all__ = ["EndToEndResult", "run_fig16_17"]
+
+DEFAULT_SCHEMES = (DiVEScheme, DDSScheme, EAARScheme, O3Scheme)
+
+
+@dataclass
+class EndToEndResult:
+    """One point of Fig 16/17: dataset x scheme x bandwidth."""
+
+    dataset: str
+    scheme: str
+    bandwidth_mbps: float
+    map: float
+    ap_car: float
+    ap_pedestrian: float
+    response_time: float
+    total_bytes: float
+    drop_rate: float
+
+
+def run_fig16_17(
+    config: ExperimentConfig | None = None,
+    *,
+    bandwidths: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0),
+    datasets: tuple[str, ...] = ("robotcar", "nuscenes"),
+    scheme_factories=DEFAULT_SCHEMES,
+) -> list[EndToEndResult]:
+    """Reproduce Fig 16 (robotcar) and Fig 17 (nuscenes)."""
+    config = config or ExperimentConfig()
+    results: list[EndToEndResult] = []
+    for dataset in datasets:
+        clips = dataset_clips(dataset, config)
+        gts = [ground_truth_for(c, detector_seed=config.detector_seed) for c in clips]
+        for mbps in bandwidths:
+            for factory in scheme_factories:
+                per_clip = []
+                for clip, gt in zip(clips, gts):
+                    trace = constant_trace(scaled_bandwidth(mbps, clip))
+                    per_clip.append(
+                        run_scheme(
+                            factory(), clip, trace, detector_seed=config.detector_seed, ground_truth=gt
+                        )
+                    )
+                results.append(
+                    EndToEndResult(
+                        dataset=dataset,
+                        scheme=per_clip[0].scheme,
+                        bandwidth_mbps=mbps,
+                        map=float(np.mean([r.map for r in per_clip])),
+                        ap_car=float(np.mean([r.ap["car"] for r in per_clip])),
+                        ap_pedestrian=float(np.mean([r.ap["pedestrian"] for r in per_clip])),
+                        response_time=float(np.mean([r.mean_response_time for r in per_clip])),
+                        total_bytes=float(np.mean([r.total_bytes for r in per_clip])),
+                        drop_rate=float(np.mean([r.drop_rate for r in per_clip])),
+                    )
+                )
+    return results

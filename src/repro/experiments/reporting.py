@@ -1,0 +1,35 @@
+"""Small helpers to print experiment results as aligned text tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None) -> str:
+    """Render rows as an aligned text table.
+
+    Floats are shown with 3 decimals; everything else via ``str``.
+    """
+
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells else len(h) for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: Sequence[str], rows: Sequence[Sequence[object]], *, title: str | None = None) -> None:
+    print()
+    print(format_table(headers, rows, title=title))

@@ -1,0 +1,114 @@
+"""Coupling of clips, schemes, traces and evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.base import AnalyticsScheme, SchemeRun
+from repro.edge.detector import Detection, QualityAwareDetector
+from repro.edge.evaluation import evaluate_detections
+from repro.edge.server import EdgeServer
+from repro.network.trace import BandwidthTrace
+from repro.world.datasets import Clip
+
+__all__ = ["EvaluationResult", "aggregate", "evaluate_run", "ground_truth_for", "run_scheme"]
+
+
+@dataclass
+class EvaluationResult:
+    """Accuracy and latency of one scheme on one clip.
+
+    Attributes
+    ----------
+    scheme, clip_name:
+        Identity.
+    ap:
+        Per-class AP (``car``, ``pedestrian``) plus ``mAP``.
+    mean_response_time:
+        Seconds, averaged over frames with finite response.
+    total_bytes:
+        Uplink bytes spent.
+    drop_rate:
+        Fraction of frames whose upload was abandoned.
+    run:
+        The underlying per-frame results.
+    """
+
+    scheme: str
+    clip_name: str
+    ap: dict[str, float]
+    mean_response_time: float
+    total_bytes: int
+    drop_rate: float
+    run: SchemeRun = field(repr=False)
+
+    @property
+    def map(self) -> float:
+        return self.ap["mAP"]
+
+
+def ground_truth_for(clip: Clip, *, detector_seed: int = 7) -> list[list[Detection]]:
+    """Raw-frame detections for every frame of a clip (the paper's GT)."""
+    detector = QualityAwareDetector(seed=detector_seed)
+    return [detector.ground_truth(clip.frame(i)) for i in range(clip.n_frames)]
+
+
+def run_scheme(
+    scheme: AnalyticsScheme,
+    clip: Clip,
+    trace: BandwidthTrace,
+    *,
+    detector_seed: int = 7,
+    ground_truth: list[list[Detection]] | None = None,
+) -> EvaluationResult:
+    """Run one scheme on one clip and evaluate it.
+
+    A fresh :class:`EdgeServer` (with the shared detector seed) is created
+    per run so decoder state never leaks between schemes; ground truth can
+    be passed in to avoid recomputing it across schemes.
+    """
+    server = EdgeServer(QualityAwareDetector(seed=detector_seed))
+    run = scheme.run(clip, trace, server)
+    return evaluate_run(run, clip, detector_seed=detector_seed, ground_truth=ground_truth)
+
+
+def evaluate_run(
+    run: SchemeRun,
+    clip: Clip,
+    *,
+    detector_seed: int = 7,
+    ground_truth: list[list[Detection]] | None = None,
+) -> EvaluationResult:
+    """Score a finished run against raw-frame ground truth."""
+    if ground_truth is None:
+        ground_truth = ground_truth_for(clip, detector_seed=detector_seed)
+    if len(run.frames) != len(ground_truth):
+        raise ValueError(
+            f"run has {len(run.frames)} frames but ground truth has {len(ground_truth)}"
+        )
+    ap = evaluate_detections(run.detections_per_frame, ground_truth)
+    return EvaluationResult(
+        scheme=run.scheme,
+        clip_name=run.clip_name,
+        ap=ap,
+        mean_response_time=run.mean_response_time,
+        total_bytes=run.total_bytes,
+        drop_rate=run.drop_rate,
+        run=run,
+    )
+
+
+def aggregate(results: list[EvaluationResult]) -> dict[str, float]:
+    """Mean metrics over a list of per-clip results (one scheme)."""
+    if not results:
+        raise ValueError("no results to aggregate")
+    return {
+        "mAP": float(np.mean([r.ap["mAP"] for r in results])),
+        "car": float(np.mean([r.ap["car"] for r in results])),
+        "pedestrian": float(np.mean([r.ap["pedestrian"] for r in results])),
+        "response_time": float(np.mean([r.mean_response_time for r in results])),
+        "bytes": float(np.mean([r.total_bytes for r in results])),
+        "drop_rate": float(np.mean([r.drop_rate for r in results])),
+    }

@@ -1,0 +1,35 @@
+"""Pinhole-camera geometry and analytic motion-vector fields.
+
+Implements Section II of the paper: the pinhole projection (Eq. 1), the
+translational MV field and focus of expansion (Eqs. 2–3), the rotational MV
+field (Eqs. 4–5), their combination under vehicle-like motion (Eq. 6), the
+linear pitch/yaw constraint (Eq. 7), and the normalised magnitude of
+Observation 2 (Eq. 8).
+"""
+
+from repro.geometry.camera import CameraIntrinsics, CameraPose, PinholeCamera
+from repro.geometry.flow import (
+    combined_flow,
+    foe_position,
+    normalized_magnitude,
+    rotation_constraint_coefficients,
+    rotational_flow,
+    translational_flow,
+)
+from repro.geometry.foe import estimate_foe, estimate_foe_x, foe_consistency, radial_deviation
+
+__all__ = [
+    "CameraIntrinsics",
+    "CameraPose",
+    "PinholeCamera",
+    "combined_flow",
+    "estimate_foe",
+    "estimate_foe_x",
+    "foe_consistency",
+    "foe_position",
+    "radial_deviation",
+    "normalized_magnitude",
+    "rotation_constraint_coefficients",
+    "rotational_flow",
+    "translational_flow",
+]

@@ -1,0 +1,167 @@
+"""Pinhole camera model.
+
+Conventions (see DESIGN.md):
+
+- World frame: ``X`` right, ``Y`` **down**, ``Z`` forward (at zero yaw).
+  The ground is the plane ``Y = 0``; a camera mounted ``h`` metres above the
+  ground sits at world ``Y = -h``, so ground points appear at camera-frame
+  ``Y = +h``.  "Height" in the sense of Observation 2 is therefore the
+  camera-frame ``Y`` coordinate: the ground has the largest ``Y`` of any
+  surface and objects extend toward smaller ``Y``.
+- Camera frame: ``x`` right, ``y`` down, ``z`` forward (optical axis).
+- Image coordinates: *centred* coordinates ``(x, y)`` have their origin at
+  the principal point (these are what the paper's equations use); *pixel*
+  coordinates ``(px, py)`` have their origin at the top-left pixel centre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CameraIntrinsics", "CameraPose", "PinholeCamera"]
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """Focal length (pixels) and image size.
+
+    The principal point is the image centre.
+    """
+
+    focal: float
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.focal <= 0:
+            raise ValueError("focal length must be positive")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("image dimensions must be positive")
+
+    @property
+    def cx(self) -> float:
+        return (self.width - 1) / 2.0
+
+    @property
+    def cy(self) -> float:
+        return (self.height - 1) / 2.0
+
+    def centered_from_pixels(self, px: np.ndarray, py: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Convert pixel coordinates to principal-point-centred coordinates."""
+        return np.asarray(px, dtype=float) - self.cx, np.asarray(py, dtype=float) - self.cy
+
+    def pixels_from_centered(self, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Convert centred image coordinates to pixel coordinates."""
+        return np.asarray(x, dtype=float) + self.cx, np.asarray(y, dtype=float) + self.cy
+
+
+@dataclass(frozen=True)
+class CameraPose:
+    """Camera position and orientation in the world frame.
+
+    Attributes
+    ----------
+    position:
+        ``(3,)`` camera centre in world coordinates (remember ``Y`` is down,
+        so a camera 1.5 m above the ground has ``position[1] == -1.5``).
+    yaw:
+        Rotation about the world ``Y`` axis, radians.  Positive yaw turns the
+        optical axis from ``+Z`` toward ``+X`` (a right turn).
+    pitch:
+        Rotation about the camera ``x`` axis, radians, right-handed in the
+        x-right / y-down / z-forward frame: positive pitch tips the optical
+        axis *upward* (toward ``-Y``).
+    """
+
+    position: tuple[float, float, float]
+    yaw: float = 0.0
+    pitch: float = 0.0
+
+    def rotation(self) -> np.ndarray:
+        """World-from-camera rotation matrix (columns = camera axes in world)."""
+        cy_, sy = np.cos(self.yaw), np.sin(self.yaw)
+        cp, sp = np.cos(self.pitch), np.sin(self.pitch)
+        r_yaw = np.array([[cy_, 0.0, sy], [0.0, 1.0, 0.0], [-sy, 0.0, cy_]])
+        r_pitch = np.array([[1.0, 0.0, 0.0], [0.0, cp, -sp], [0.0, sp, cp]])
+        return r_yaw @ r_pitch
+
+    def world_to_camera(self, points: np.ndarray) -> np.ndarray:
+        """Transform ``(..., 3)`` world points into the camera frame."""
+        pts = np.asarray(points, dtype=float) - np.asarray(self.position, dtype=float)
+        return pts @ self.rotation()  # (R^T pts^T)^T == pts @ R
+
+    def camera_to_world(self, points: np.ndarray) -> np.ndarray:
+        """Transform ``(..., 3)`` camera-frame points into the world frame."""
+        pts = np.asarray(points, dtype=float)
+        return pts @ self.rotation().T + np.asarray(self.position, dtype=float)
+
+    def forward(self) -> np.ndarray:
+        """Optical-axis direction in world coordinates."""
+        return self.rotation()[:, 2]
+
+
+class PinholeCamera:
+    """A posed pinhole camera: projection, rays and plane intersection."""
+
+    def __init__(self, intrinsics: CameraIntrinsics, pose: CameraPose):
+        self.intrinsics = intrinsics
+        self.pose = pose
+
+    def with_pose(self, pose: CameraPose) -> "PinholeCamera":
+        """Same intrinsics, new pose."""
+        return PinholeCamera(self.intrinsics, pose)
+
+    def project(self, points_world: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project world points to centred image coordinates.
+
+        Returns ``(x, y, z)`` where ``z`` is the camera-frame depth; points
+        with ``z <= 0`` are behind the camera and their image coordinates are
+        meaningless (callers must mask on ``z``).
+        """
+        cam = self.pose.world_to_camera(points_world)
+        z = cam[..., 2]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x = self.intrinsics.focal * cam[..., 0] / z
+            y = self.intrinsics.focal * cam[..., 1] / z
+        return x, y, z
+
+    def project_to_pixels(self, points_world: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Project world points to pixel coordinates (plus depth)."""
+        x, y, z = self.project(points_world)
+        px, py = self.intrinsics.pixels_from_centered(x, y)
+        return px, py, z
+
+    def pixel_rays(self, px: np.ndarray, py: np.ndarray) -> np.ndarray:
+        """World-space (unnormalised) ray directions through given pixels."""
+        x, y = self.intrinsics.centered_from_pixels(px, py)
+        dirs_cam = np.stack(
+            [x / self.intrinsics.focal, y / self.intrinsics.focal, np.ones_like(np.asarray(x, dtype=float))],
+            axis=-1,
+        )
+        return dirs_cam @ self.pose.rotation().T
+
+    def intersect_plane(
+        self, px: np.ndarray, py: np.ndarray, plane_point: np.ndarray, plane_normal: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Intersect pixel rays with a world plane.
+
+        Returns ``(points, t)`` where ``points`` are the ``(..., 3)``
+        intersection points and ``t`` the ray parameter (camera-origin
+        distance along the unnormalised ray).  Rays parallel to or pointing
+        away from the plane yield ``t <= 0`` or non-finite ``t``; callers
+        mask on ``t > 0``.
+        """
+        dirs = self.pixel_rays(px, py)
+        origin = np.asarray(self.pose.position, dtype=float)
+        normal = np.asarray(plane_normal, dtype=float)
+        denom = dirs @ normal
+        num = float((np.asarray(plane_point, dtype=float) - origin) @ normal)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            t = num / denom
+        return origin + dirs * t[..., None], t
+
+    def backproject_to_ground(self, px: np.ndarray, py: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Intersect pixel rays with the ground plane ``Y = 0``."""
+        return self.intersect_plane(px, py, np.array([0.0, 0.0, 0.0]), np.array([0.0, 1.0, 0.0]))

@@ -1,0 +1,184 @@
+"""Analytic motion-vector fields (Section II of the paper).
+
+All functions use *centred* image coordinates (origin at the principal
+point, x right, y down) and camera-frame quantities.  Rotation increments
+``dphi = (dphi_x, dphi_y, dphi_z)`` are right-handed about the camera axes,
+which makes the first-order rotational field exactly the paper's Eq. (5):
+
+    vx = -dphi_y*f + dphi_z*y + dphi_x*x*y/f - dphi_y*x^2/f
+    vy = +dphi_x*f - dphi_z*x - dphi_y*x*y/f + dphi_x*y^2/f
+
+One sign note: substituting this field into ``y*vx - x*vy`` gives
+
+    (-f*x)*dphi_x + (-f*y)*dphi_y = y*vx - x*vy            (Eq. 7 here)
+
+whereas the paper prints the left-hand side with positive signs — its image
+y-axis points up, ours points down.  The constraint is the same line in
+(dphi_x, dphi_y) space either way; we keep the y-down form throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "combined_flow",
+    "foe_position",
+    "normalized_magnitude",
+    "rotation_constraint_coefficients",
+    "rotation_constraint_rhs",
+    "rotational_flow",
+    "translational_flow",
+]
+
+
+def translational_flow(
+    x: np.ndarray,
+    y: np.ndarray,
+    depth: np.ndarray,
+    delta: tuple[float, float, float],
+    focal: float,
+    *,
+    exact: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """MV field of static points under pure camera translation (Eqs. 2–3).
+
+    Parameters
+    ----------
+    x, y:
+        Centred image coordinates of the points *in the current frame*.
+    depth:
+        Camera-frame depth ``Z`` of each point in the current frame.
+    delta:
+        Camera translation ``(dX, dY, dZ)`` from the previous frame to the
+        current frame, expressed in the camera frame.
+    focal:
+        Focal length in pixels.
+    exact:
+        When true (default), compute the exact displacement by re-projecting
+        the point into the previous camera position; when false, use the
+        paper's first-order Eq. (3).
+
+    Returns
+    -------
+    ``(vx, vy)`` — displacement from the previous image position to the
+    current one, in pixels.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    z = np.asarray(depth, dtype=float)
+    dx, dy, dz = (float(d) for d in delta)
+    if exact:
+        # Current camera-frame point.
+        big_x = x * z / focal
+        big_y = y * z / focal
+        # The camera moved by (dx, dy, dz); in the previous frame the static
+        # point sat at p_prev = p_cur + delta (camera-frame).
+        zp = z + dz
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_prev = focal * (big_x + dx) / zp
+            y_prev = focal * (big_y + dy) / zp
+        return x - x_prev, y - y_prev
+    with np.errstate(divide="ignore", invalid="ignore"):
+        vx = (dz / z) * (x - dx * focal / dz) if dz != 0 else -focal * dx / z
+        vy = (dz / z) * (y - dy * focal / dz) if dz != 0 else -focal * dy / z
+    return vx, vy
+
+
+def rotational_flow(
+    x: np.ndarray,
+    y: np.ndarray,
+    dphi: tuple[float, float, float],
+    focal: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """First-order MV field of static points under pure camera rotation (Eq. 5)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    px, py, pz = (float(d) for d in dphi)
+    f = float(focal)
+    vx = -py * f + pz * y + px * x * y / f - py * x * x / f
+    vy = px * f - pz * x - py * x * y / f + px * y * y / f
+    return vx, vy
+
+
+def combined_flow(
+    x: np.ndarray,
+    y: np.ndarray,
+    depth: np.ndarray,
+    delta: tuple[float, float, float],
+    dphi: tuple[float, float, float],
+    focal: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """MV field under compound motion (Eq. 6): translation plus rotation."""
+    tvx, tvy = translational_flow(x, y, depth, delta, focal, exact=True)
+    rvx, rvy = rotational_flow(x, y, dphi, focal)
+    return tvx + rvx, tvy + rvy
+
+
+def foe_position(delta: tuple[float, float, float], focal: float) -> tuple[float, float]:
+    """Focus of expansion in centred image coordinates (from Eq. 3).
+
+    Requires a non-zero forward component ``dZ``; for a camera translating
+    purely forward the FOE is the principal point ``(0, 0)``.
+    """
+    dx, dy, dz = (float(d) for d in delta)
+    if dz == 0.0:
+        raise ValueError("FOE undefined for zero forward translation")
+    return focal * dx / dz, focal * dy / dz
+
+
+def normalized_magnitude(
+    vx: np.ndarray,
+    vy: np.ndarray,
+    x: np.ndarray,
+    y: np.ndarray,
+    foe: tuple[float, float] = (0.0, 0.0),
+    *,
+    eps: float = 1e-9,
+) -> np.ndarray:
+    """Normalised MV magnitude of Observation 2 / Eq. (8).
+
+    ``|v| / (R * y)`` where ``R`` is the image distance to the FOE.  For a
+    static point this equals ``dZ / (f * Y_Q)`` — constant across all points
+    of the same camera-frame height ``Y_Q``.  The ground (largest ``Y``)
+    therefore has the *smallest* positive normalised magnitude; points above
+    the horizon (``y < 0``) come out negative and can never be classified as
+    ground.
+    """
+    vx = np.asarray(vx, dtype=float)
+    vy = np.asarray(vy, dtype=float)
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    fx, fy = foe
+    r = np.hypot(x - fx, y - fy)
+    mag = np.hypot(vx, vy)
+    denom = r * y
+    sign = np.sign(denom)
+    sign[sign == 0] = 1.0
+    return mag / np.where(np.abs(denom) < eps, sign * eps, denom)
+
+
+def rotation_constraint_coefficients(x: np.ndarray, y: np.ndarray, focal: float) -> np.ndarray:
+    """Design-matrix rows of the Eq.-(7) constraint, one per motion vector.
+
+    Each sampled vector contributes the linear equation
+
+        (-f*x) * dphi_x + (-f*y) * dphi_y = y*vx - x*vy
+
+    in the two unknown rotation increments (the translational component
+    cancels from the right-hand side when the agent translates only along
+    its z-axis).  Returns the ``(n, 2)`` left-hand-side matrix; pair with
+    :func:`rotation_constraint_rhs`.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    return np.stack([-focal * x, -focal * y], axis=1)
+
+
+def rotation_constraint_rhs(x: np.ndarray, y: np.ndarray, vx: np.ndarray, vy: np.ndarray) -> np.ndarray:
+    """Right-hand side ``y*vx - x*vy`` of the Eq.-(7) constraint."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    vx = np.asarray(vx, dtype=float).ravel()
+    vy = np.asarray(vy, dtype=float).ravel()
+    return y * vx - x * vy

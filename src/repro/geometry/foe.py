@@ -1,0 +1,167 @@
+"""Focus-of-expansion estimation and consistency scoring.
+
+Observation 1: when the agent purely translates, the motion vectors of all
+static points lie on lines through the focus of expansion.  DiVE exploits
+this twice — once to *estimate* the FOE (calibrating it while the agent
+drives straight) and once to *filter* noisy vectors whose lines miss the
+FOE (Section III-C1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["estimate_foe", "estimate_foe_x", "foe_consistency", "radial_deviation"]
+
+
+def estimate_foe(
+    x: np.ndarray,
+    y: np.ndarray,
+    vx: np.ndarray,
+    vy: np.ndarray,
+    *,
+    min_magnitude: float = 0.25,
+    weights: np.ndarray | None = None,
+) -> tuple[float, float] | None:
+    """Least-squares FOE from a motion-vector field.
+
+    Every vector ``v`` at image point ``q`` defines the line ``q + t*v``;
+    the FOE minimises the sum of squared perpendicular distances to those
+    lines.  With unit normals ``n = (-vy, vx)/|v|`` the normal equations are
+    the 2x2 system ``(sum w n n^T) F = sum w n n^T q``.
+
+    Parameters
+    ----------
+    x, y, vx, vy:
+        Flattened centred coordinates and motion vectors.
+    min_magnitude:
+        Vectors shorter than this (pixels) carry no direction information
+        and are skipped.
+    weights:
+        Optional per-vector weights (defaults to ``|v|`` so long, reliable
+        vectors dominate).
+
+    Returns
+    -------
+    ``(foe_x, foe_y)`` in centred coordinates, or ``None`` when fewer than
+    two usable vectors remain or the system is degenerate (e.g. all vectors
+    parallel).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    vx = np.asarray(vx, dtype=float).ravel()
+    vy = np.asarray(vy, dtype=float).ravel()
+    mag = np.hypot(vx, vy)
+    keep = mag >= min_magnitude
+    if keep.sum() < 2:
+        return None
+    x, y, vx, vy, mag = x[keep], y[keep], vx[keep], vy[keep], mag[keep]
+    w = mag if weights is None else np.asarray(weights, dtype=float).ravel()[keep]
+
+    nx = -vy / mag
+    ny = vx / mag
+    a11 = float(np.sum(w * nx * nx))
+    a12 = float(np.sum(w * nx * ny))
+    a22 = float(np.sum(w * ny * ny))
+    proj = w * (nx * x + ny * y)
+    b1 = float(np.sum(proj * nx))
+    b2 = float(np.sum(proj * ny))
+    mat = np.array([[a11, a12], [a12, a22]])
+    det = np.linalg.det(mat)
+    if abs(det) < 1e-9 * max(1.0, a11 + a22) ** 2:
+        return None
+    foe = np.linalg.solve(mat, np.array([b1, b2]))
+    return float(foe[0]), float(foe[1])
+
+
+def estimate_foe_x(
+    x: np.ndarray,
+    y: np.ndarray,
+    vx: np.ndarray,
+    vy: np.ndarray,
+    *,
+    foe_y: float = 0.0,
+    min_magnitude: float = 0.25,
+) -> float | None:
+    """Robust FOE *x*-coordinate with its y fixed (default: the principal
+    row).
+
+    The full 2-D FOE fit is ill-conditioned when the usable vectors come
+    mostly from the road (their lines are nearly parallel vertically, so
+    the intersection slides freely up and down).  Constraining the FOE to
+    a known row turns the fit into a 1-D problem: each vector's line
+    crosses that row at one point, and the *median* of the crossings is
+    immune to the outliers (moving objects, texture mismatches) that wreck
+    a least-squares fit.
+
+    Only vectors with a meaningful vertical direction component contribute
+    (near-horizontal lines cross the row arbitrarily far away).  Returns
+    ``None`` with fewer than four usable crossings.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    vx = np.asarray(vx, dtype=float).ravel()
+    vy = np.asarray(vy, dtype=float).ravel()
+    mag = np.hypot(vx, vy)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        keep = (mag >= min_magnitude) & (np.abs(vy) / np.maximum(mag, 1e-9) > 0.3)
+    if keep.sum() < 4:
+        return None
+    crossings = x[keep] + (foe_y - y[keep]) * vx[keep] / vy[keep]
+    return float(np.median(crossings))
+
+
+def foe_consistency(
+    x: np.ndarray,
+    y: np.ndarray,
+    vx: np.ndarray,
+    vy: np.ndarray,
+    foe: tuple[float, float],
+    *,
+    min_magnitude: float = 0.25,
+) -> np.ndarray:
+    """Perpendicular distance (pixels) of each vector's line from the FOE.
+
+    Small distances mean the vector is consistent with pure ego translation
+    (static background); large distances flag noise or independently moving
+    objects.  Vectors shorter than ``min_magnitude`` get distance 0 — they
+    carry no evidence either way and zero blocks are handled separately.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    vx = np.asarray(vx, dtype=float)
+    vy = np.asarray(vy, dtype=float)
+    mag = np.hypot(vx, vy)
+    fx, fy = foe
+    # Cross product of (foe - q) with the unit direction of v.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dist = np.abs((fx - x) * vy - (fy - y) * vx) / mag
+    return np.where(mag < min_magnitude, 0.0, dist)
+
+
+def radial_deviation(
+    x: np.ndarray,
+    y: np.ndarray,
+    vx: np.ndarray,
+    vy: np.ndarray,
+    foe: tuple[float, float],
+) -> np.ndarray:
+    """Perpendicular component of each vector w.r.t. its FOE radial, pixels.
+
+    A static point's vector is exactly radial from the FOE, so its
+    perpendicular component is pure measurement noise (quarter-pel scale)
+    *independent of where the point sits* — unlike the line-miss distance of
+    :func:`foe_consistency`, which amplifies that noise by ``R/|v|`` and
+    becomes useless for short vectors far from the FOE.  Laterally moving
+    objects show large deviations; longitudinal movers stay radial and must
+    be separated by magnitude instead (Observation 2).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    vx = np.asarray(vx, dtype=float)
+    vy = np.asarray(vy, dtype=float)
+    fx, fy = foe
+    rx = x - fx
+    ry = y - fy
+    r = np.maximum(np.hypot(rx, ry), 1e-9)
+    return np.abs(rx * vy - ry * vx) / r

@@ -1,0 +1,84 @@
+"""Sliding-window uplink bandwidth estimation (Section III-D1).
+
+The agent estimates the uplink from the amount of encoded data successfully
+delivered to the edge server within a recent time window.  Each completed
+frame transfer contributes a *goodput sample* — transferred bits divided by
+the time the transfer actually occupied the link.  Sampling goodput (rather
+than dividing by wall-clock time) matters when the sender does not saturate
+the link: a small frame that crosses a fast link in 10 ms still reveals the
+full link rate, whereas bits-per-window would confuse "sent little" with
+"link is slow" and spiral the rate to zero.
+
+The paper quotes a 2 ms sliding window; with frame-sized transfers, a
+window needs to span at least a few completions to smooth anything, so the
+window length is a parameter (default one second), and the estimator
+remembers the last non-empty estimate across gaps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["BandwidthEstimator"]
+
+
+class BandwidthEstimator:
+    """Estimate uplink rate from completed frame transfers."""
+
+    def __init__(self, *, window: float = 1.0, initial_bps: float = 1e6):
+        """
+        Parameters
+        ----------
+        window:
+            Sliding window length, seconds (samples older than this are
+            dropped).
+        initial_bps:
+            Estimate returned before any transfer completes.
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = float(window)
+        self._initial = float(initial_bps)
+        # (finish_time, bits, duration) per completed transfer.
+        self._samples: deque[tuple[float, float, float]] = deque()
+        self._last_estimate = float(initial_bps)
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._last_estimate = self._initial
+
+    def record_ack(self, start_time: float, finish_time: float, size_bytes: int) -> None:
+        """Record a completed frame transfer.
+
+        Parameters
+        ----------
+        start_time:
+            When the frame started transmitting (head of queue).
+        finish_time:
+            When its last bit arrived.
+        size_bytes:
+            Frame size.
+        """
+        duration = max(finish_time - start_time, 1e-6)
+        self._samples.append((float(finish_time), float(size_bytes) * 8.0, duration))
+
+    def record_outage(self, time: float) -> None:
+        """Record a detected outage: drop history so the next estimate
+        reflects only post-outage behaviour, and floor the estimate."""
+        self._samples.clear()
+        self._last_estimate = min(self._last_estimate, self._initial * 0.25)
+
+    def estimate(self, now: float) -> float:
+        """Current bandwidth estimate, bits/second.
+
+        The duration-weighted mean goodput of the transfers completed
+        within the window — i.e. total bits divided by total busy time.
+        """
+        while self._samples and self._samples[0][0] < now - self.window:
+            self._samples.popleft()
+        bits = sum(b for t, b, d in self._samples if t <= now)
+        busy = sum(d for t, b, d in self._samples if t <= now)
+        if bits <= 0 or busy <= 0:
+            return self._last_estimate
+        self._last_estimate = bits / busy
+        return self._last_estimate

@@ -1,0 +1,115 @@
+"""Uplink transmit queue and outage detection.
+
+Encoded frames enter a FIFO queue; the link drains them at the trace rate.
+The agent arms a timer whenever a frame becomes head-of-line (Section
+III-E): if the frame has not finished sending when the timer fires, the
+agent declares a link outage, abandons the frame and falls back to local
+motion-vector tracking until the link recovers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.trace import BandwidthTrace
+
+__all__ = ["TransmissionResult", "UplinkSimulator"]
+
+
+@dataclass(frozen=True)
+class TransmissionResult:
+    """Outcome of transmitting one frame.
+
+    Attributes
+    ----------
+    frame_index:
+        Index of the frame.
+    enqueue_time:
+        When the frame entered the queue (capture + encode time).
+    start_time:
+        When it reached the head of the queue and began transmitting.
+    finish_time:
+        When the last bit arrived at the server (``inf`` if dropped).
+    dropped:
+        True when the head-of-line timer fired first.
+    bytes:
+        Frame size.
+    """
+
+    frame_index: int
+    enqueue_time: float
+    start_time: float
+    finish_time: float
+    dropped: bool
+    bytes: int
+
+    @property
+    def uplink_delay(self) -> float:
+        """Queueing plus transmission delay (``inf`` when dropped)."""
+        return self.finish_time - self.enqueue_time
+
+
+class UplinkSimulator:
+    """Sequential (FIFO) uplink with a head-of-line drop timer.
+
+    Parameters
+    ----------
+    trace:
+        The bandwidth trace.
+    hol_timeout:
+        Seconds a frame may sit as head-of-line before the agent declares
+        an outage and drops it; ``None`` disables dropping.
+    """
+
+    def __init__(self, trace: BandwidthTrace, *, hol_timeout: float | None = None):
+        self.trace = trace
+        self.hol_timeout = hol_timeout
+        self._busy_until = 0.0
+
+    def reset(self) -> None:
+        self._busy_until = 0.0
+
+    def transmit(self, frame_index: int, size_bytes: int, enqueue_time: float) -> TransmissionResult:
+        """Transmit one frame, honouring FIFO order and the HoL timer.
+
+        Frames must be offered in non-decreasing ``enqueue_time`` order (the
+        agent produces them in capture order).
+        """
+        start = max(enqueue_time, self._busy_until)
+        bits = float(size_bytes) * 8.0
+        finish = self.trace.finish_time(start, bits)
+        if self.hol_timeout is not None and finish > start + self.hol_timeout:
+            # Timer fires: the frame is abandoned.  The channel is released
+            # at the timer expiry (partial transmission wasted).
+            drop_at = start + self.hol_timeout
+            self._busy_until = drop_at
+            return TransmissionResult(
+                frame_index=frame_index,
+                enqueue_time=enqueue_time,
+                start_time=start,
+                finish_time=float("inf"),
+                dropped=True,
+                bytes=size_bytes,
+            )
+        self._busy_until = finish
+        return TransmissionResult(
+            frame_index=frame_index,
+            enqueue_time=enqueue_time,
+            start_time=start,
+            finish_time=finish,
+            dropped=False,
+            bytes=size_bytes,
+        )
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the link becomes idle again."""
+        return self._busy_until
+
+    def queue_wait(self, enqueue_time: float) -> float:
+        """How long a frame offered at ``enqueue_time`` would wait before
+        its first bit could be sent.  Agents use this to skip uploading
+        frames that would be stale before transmission even starts
+        (Section III-E: track "this and after frames until the link is
+        recovered")."""
+        return max(0.0, self._busy_until - enqueue_time)

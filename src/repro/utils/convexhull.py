@@ -1,0 +1,150 @@
+"""Convex hulls and polygon utilities on the macroblock grid.
+
+The paper uses Sklansky's algorithm to build the convex contour of the
+estimated ground region and of each foreground cluster (Section III-C).
+Sklansky's algorithm requires a simple polygon as input; since DiVE actually
+applies it to an unordered set of macroblock centres, we implement the
+equivalent Andrew monotone-chain construction, which computes the same hull
+for a point set in ``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "convex_hull",
+    "point_in_polygon",
+    "points_in_polygon",
+    "polygon_area",
+    "rasterize_polygon",
+]
+
+
+def _cross(o: np.ndarray, a: np.ndarray, b: np.ndarray) -> float:
+    """2-D cross product of vectors ``oa`` and ``ob``.
+
+    Positive when ``o``->``a``->``b`` makes a counter-clockwise turn in a
+    y-up frame (clockwise in the image's y-down frame; hull code only relies
+    on the sign being consistent).
+    """
+    return float((a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]))
+
+
+def convex_hull(points: np.ndarray) -> np.ndarray:
+    """Return the convex hull of a point set as an ``(m, 2)`` array.
+
+    Vertices are returned in counter-clockwise order (y-up convention)
+    starting from the lexicographically smallest point.  Degenerate inputs
+    (fewer than three distinct points, or all collinear) return the distinct
+    extreme points.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` array of ``(x, y)`` coordinates.
+    """
+    pts = np.asarray(points, dtype=float)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError(f"points must have shape (n, 2), got {pts.shape}")
+    uniq = np.unique(pts, axis=0)
+    order = np.lexsort((uniq[:, 1], uniq[:, 0]))
+    uniq = uniq[order]
+    n = len(uniq)
+    if n <= 2:
+        return uniq.copy()
+
+    lower: list[np.ndarray] = []
+    for p in uniq:
+        while len(lower) >= 2 and _cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+    upper: list[np.ndarray] = []
+    for p in uniq[::-1]:
+        while len(upper) >= 2 and _cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+    hull = np.array(lower[:-1] + upper[:-1])
+    if len(hull) < 3:  # collinear input collapses to its two extremes
+        return np.array([lower[0], lower[-1]])
+    return hull
+
+
+def polygon_area(polygon: np.ndarray) -> float:
+    """Unsigned area of a simple polygon via the shoelace formula."""
+    poly = np.asarray(polygon, dtype=float)
+    if len(poly) < 3:
+        return 0.0
+    x, y = poly[:, 0], poly[:, 1]
+    return float(abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1))) / 2.0)
+
+
+def point_in_polygon(point: np.ndarray, polygon: np.ndarray) -> bool:
+    """Point-in-polygon test (boundary counts as inside)."""
+    return bool(points_in_polygon(np.asarray(point, dtype=float)[None, :], polygon)[0])
+
+
+def points_in_polygon(points: np.ndarray, polygon: np.ndarray) -> np.ndarray:
+    """Vectorised even-odd point-in-polygon test.
+
+    Boundary points are reported inside (within a small tolerance), which is
+    what the foreground-seed selection needs: macroblocks on the hull edge of
+    the ground region still count as standing inside it.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` query points.
+    polygon:
+        ``(m, 2)`` polygon vertices in order.
+
+    Returns
+    -------
+    ``(n,)`` boolean array.
+    """
+    pts = np.asarray(points, dtype=float)
+    poly = np.asarray(polygon, dtype=float)
+    n = len(pts)
+    if poly.ndim != 2 or len(poly) < 3:
+        if len(poly) == 2:  # segment: inside means on the segment
+            return _on_segment(pts, poly[0], poly[1])
+        if len(poly) == 1:
+            return np.all(np.isclose(pts, poly[0]), axis=1)
+        return np.zeros(n, dtype=bool)
+
+    x, y = pts[:, 0], pts[:, 1]
+    inside = np.zeros(n, dtype=bool)
+    on_edge = np.zeros(n, dtype=bool)
+    x1s, y1s = poly[:, 0], poly[:, 1]
+    x2s, y2s = np.roll(x1s, -1), np.roll(y1s, -1)
+    for x1, y1, x2, y2 in zip(x1s, y1s, x2s, y2s):
+        on_edge |= _on_segment(pts, np.array([x1, y1]), np.array([x2, y2]))
+        crosses = (y1 > y) != (y2 > y)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_at_y = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+        inside ^= crosses & (x < x_at_y)
+    return inside | on_edge
+
+
+def _on_segment(pts: np.ndarray, a: np.ndarray, b: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+    ab = b - a
+    ap = pts - a
+    cross = ap[:, 0] * ab[1] - ap[:, 1] * ab[0]
+    dot = ap[:, 0] * ab[0] + ap[:, 1] * ab[1]
+    norm2 = float(ab @ ab)
+    if norm2 == 0.0:
+        return np.all(np.isclose(pts, a, atol=tol), axis=1)
+    return (np.abs(cross) <= tol * max(1.0, np.sqrt(norm2))) & (dot >= -tol) & (dot <= norm2 + tol)
+
+
+def rasterize_polygon(polygon: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Rasterise a polygon onto a grid of the given ``(rows, cols)`` shape.
+
+    Grid cell ``(r, c)`` is marked when its centre ``(c, r)`` (x = column,
+    y = row) lies inside the polygon.  DiVE uses this to turn the ground
+    convex hull back into a macroblock mask.
+    """
+    rows, cols = shape
+    cc, rr = np.meshgrid(np.arange(cols, dtype=float), np.arange(rows, dtype=float))
+    pts = np.stack([cc.ravel(), rr.ravel()], axis=1)
+    return points_in_polygon(pts, polygon).reshape(rows, cols)

@@ -1,0 +1,69 @@
+"""Integral images and displacement-major SAD maps.
+
+Exhaustive block-matching (the x264 ESA/TESA methods) evaluates every
+candidate displacement for every macroblock.  Doing that block-by-block in
+Python is hopeless; instead we loop over *displacements* and, for each one,
+compute the sum of absolute differences for **all** macroblocks at once via
+an integral image over ``|current - shifted reference|``.  One displacement
+costs a handful of whole-frame numpy operations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["block_reduce_sum", "block_sad_map", "integral_image", "shift_with_edge_pad"]
+
+
+def integral_image(img: np.ndarray) -> np.ndarray:
+    """Summed-area table with a zero top row/left column.
+
+    ``ii[r, c]`` is the sum of ``img[:r, :c]``, so any rectangle sum is four
+    lookups.
+    """
+    img = np.asarray(img, dtype=np.float64)
+    ii = np.zeros((img.shape[0] + 1, img.shape[1] + 1), dtype=np.float64)
+    np.cumsum(np.cumsum(img, axis=0), axis=1, out=ii[1:, 1:])
+    return ii
+
+
+def block_reduce_sum(img: np.ndarray, block: int) -> np.ndarray:
+    """Sum over non-overlapping ``block``×``block`` tiles.
+
+    Image dimensions must be multiples of ``block``.  Returns an array of
+    shape ``(H/block, W/block)``.
+    """
+    h, w = img.shape
+    if h % block or w % block:
+        raise ValueError(f"image shape {img.shape} not a multiple of block size {block}")
+    return img.reshape(h // block, block, w // block, block).sum(axis=(1, 3))
+
+
+def shift_with_edge_pad(img: np.ndarray, dx: int, dy: int) -> np.ndarray:
+    """Shift an image by integer ``(dx, dy)``, replicating edge pixels.
+
+    The result at pixel ``(r, c)`` is ``img[clip(r - dy), clip(c - dx)]`` —
+    i.e. the image content moves *by* ``(dx, dy)``, matching the motion-vector
+    convention that a block's MV points from its reference-frame position to
+    its current-frame position.
+    """
+    h, w = img.shape
+    rows = np.clip(np.arange(h) - dy, 0, h - 1)
+    cols = np.clip(np.arange(w) - dx, 0, w - 1)
+    return img[np.ix_(rows, cols)]
+
+
+def block_sad_map(current: np.ndarray, reference: np.ndarray, dx: int, dy: int, block: int = 16) -> np.ndarray:
+    """Per-macroblock SAD for one candidate displacement.
+
+    For every ``block``×``block`` macroblock of ``current``, the sum of
+    absolute differences against the reference block displaced by
+    ``(-dx, -dy)`` — equivalently, the cost of giving that macroblock the
+    motion vector ``(dx, dy)``.  Out-of-frame reference samples are
+    edge-replicated, matching what a real encoder's unrestricted motion
+    search does with padded reference frames.
+
+    Returns an array of shape ``(H/block, W/block)``.
+    """
+    shifted = shift_with_edge_pad(reference, dx, dy)
+    return block_reduce_sum(np.abs(current.astype(np.float64) - shifted), block)

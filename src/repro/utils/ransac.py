@@ -1,0 +1,132 @@
+"""RANSAC for over-determined linear systems.
+
+DiVE solves the over-determined system of Eq. (7) — one equation per sampled
+motion vector, two unknowns (the pitch and yaw increments) — with RANSAC
+(Fischler & Bolles, 1981) so that the handful of noisy vectors that survive
+R-sampling cannot corrupt the estimate (Section III-B3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RansacResult", "ransac_linear"]
+
+
+@dataclass(frozen=True)
+class RansacResult:
+    """Outcome of a RANSAC fit.
+
+    Attributes
+    ----------
+    params:
+        ``(p,)`` least-squares solution refit on the inlier set.
+    inliers:
+        ``(n,)`` boolean mask of inlier equations.
+    iterations:
+        Number of sampling iterations actually executed.
+    residual:
+        RMS residual of the inlier equations under ``params``.
+    """
+
+    params: np.ndarray
+    inliers: np.ndarray
+    iterations: int
+    residual: float
+
+
+def ransac_linear(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    threshold: float,
+    max_iterations: int = 64,
+    min_inlier_ratio: float = 0.5,
+    rng: np.random.Generator | None = None,
+) -> RansacResult:
+    """Robustly solve ``a @ x = b`` in the least-squares sense.
+
+    Parameters
+    ----------
+    a:
+        ``(n, p)`` design matrix with ``n >= p``.
+    b:
+        ``(n,)`` right-hand side.
+    threshold:
+        Absolute residual below which an equation counts as an inlier.
+    max_iterations:
+        Upper bound on minimal-sample draws.  Iteration stops early once the
+        adaptive consensus bound (99 % confidence) is met.
+    min_inlier_ratio:
+        If the best consensus set is smaller than this fraction of ``n``, the
+        plain least-squares solution over all equations is returned instead
+        (with every equation marked inlier); a tiny consensus set usually
+        means the threshold was too tight for the noise level, and falling
+        back is safer than trusting two arbitrary equations.
+    rng:
+        Source of randomness; a fresh default generator when omitted.
+
+    Returns
+    -------
+    :class:`RansacResult`
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float).ravel()
+    if a.ndim != 2:
+        raise ValueError(f"design matrix must be 2-D, got shape {a.shape}")
+    n, p = a.shape
+    if b.shape[0] != n:
+        raise ValueError(f"rhs length {b.shape[0]} != number of equations {n}")
+    if n < p:
+        raise ValueError(f"under-determined system: {n} equations, {p} unknowns")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    def lstsq(mask: np.ndarray) -> np.ndarray:
+        sol, *_ = np.linalg.lstsq(a[mask], b[mask], rcond=None)
+        return sol
+
+    all_mask = np.ones(n, dtype=bool)
+    if n == p:
+        params = lstsq(all_mask)
+        res = float(np.sqrt(np.mean((a @ params - b) ** 2)))
+        return RansacResult(params=params, inliers=all_mask, iterations=0, residual=res)
+
+    best_mask: np.ndarray | None = None
+    best_count = -1
+    needed = max_iterations
+    it = 0
+    while it < min(needed, max_iterations):
+        it += 1
+        idx = rng.choice(n, size=p, replace=False)
+        try:
+            sample = np.linalg.solve(a[idx], b[idx])
+        except np.linalg.LinAlgError:
+            continue
+        resid = np.abs(a @ sample - b)
+        mask = resid <= threshold
+        count = int(mask.sum())
+        if count > best_count:
+            best_count = count
+            best_mask = mask
+            ratio = max(count / n, 1e-6)
+            # 99% confidence of having drawn one all-inlier minimal sample.
+            denom = np.log1p(-min(ratio**p, 1 - 1e-12))
+            needed = int(np.ceil(np.log(0.01) / denom)) if denom < 0 else max_iterations
+
+    if best_mask is None or best_count < max(p, int(np.ceil(min_inlier_ratio * n))):
+        params = lstsq(all_mask)
+        res = float(np.sqrt(np.mean((a @ params - b) ** 2)))
+        return RansacResult(params=params, inliers=all_mask, iterations=it, residual=res)
+
+    params = lstsq(best_mask)
+    # One refinement pass: refit on the inliers of the refit solution.
+    resid = np.abs(a @ params - b)
+    refined = resid <= threshold
+    if refined.sum() >= p:
+        params = lstsq(refined)
+        best_mask = refined
+    res = float(np.sqrt(np.mean((a[best_mask] @ params - b[best_mask]) ** 2)))
+    return RansacResult(params=params, inliers=best_mask, iterations=it, residual=res)

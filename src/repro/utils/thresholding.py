@@ -1,0 +1,70 @@
+"""Triangle-method histogram thresholding (Zack, Rogers and Latt, 1977).
+
+DiVE uses the Triangle method to statistically establish the normalised
+motion-vector magnitude threshold that separates ground macroblocks from
+everything taller (Section III-C1): ground magnitudes form the dominant peak
+at the low end of the histogram and the method places the threshold where the
+histogram bends away from that peak.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["triangle_threshold"]
+
+
+def triangle_threshold(values: np.ndarray, bins: int = 64) -> float:
+    """Return the Triangle-method threshold for a 1-D sample.
+
+    The histogram peak is connected by a straight line to the far non-empty
+    tail; the threshold is the bin whose histogram point lies farthest from
+    that line, i.e. the "corner" of the distribution.
+
+    Parameters
+    ----------
+    values:
+        Sample values (any shape; flattened).  NaNs are ignored.
+    bins:
+        Number of histogram bins.
+
+    Returns
+    -------
+    The threshold value, in the same units as ``values``.  Values *at or
+    below* the threshold belong to the peak-side class (for DiVE: ground).
+    """
+    vals = np.asarray(values, dtype=float).ravel()
+    vals = vals[np.isfinite(vals)]
+    if vals.size == 0:
+        raise ValueError("triangle_threshold needs at least one finite value")
+    lo, hi = float(vals.min()), float(vals.max())
+    if hi - lo <= max(abs(lo), abs(hi), 1.0) * 1e-9:
+        # (Near-)constant sample: everything belongs to the peak class.
+        return hi
+
+    hist, edges = np.histogram(vals, bins=bins, range=(lo, hi))
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    peak = int(np.argmax(hist))
+    nonzero = np.flatnonzero(hist)
+    first, last = int(nonzero[0]), int(nonzero[-1])
+
+    # Pick the longer tail, mirroring so that the peak is on the left.
+    if peak - first > last - peak:
+        hist = hist[::-1]
+        centers = centers[::-1]
+        peak = len(hist) - 1 - peak
+        last = len(hist) - 1 - first
+
+    if last <= peak:
+        return float(centers[peak])
+
+    # Distance from each histogram point between peak and tail end to the
+    # line joining (peak, hist[peak]) and (last, hist[last]).
+    xs = np.arange(peak, last + 1, dtype=float)
+    ys = hist[peak : last + 1].astype(float)
+    x0, y0 = float(peak), float(hist[peak])
+    x1, y1 = float(last), float(hist[last])
+    norm = np.hypot(x1 - x0, y1 - y0)
+    dist = np.abs((y1 - y0) * xs - (x1 - x0) * ys + x1 * y0 - y1 * x0) / norm
+    split = int(xs[int(np.argmax(dist))])
+    return float(centers[split])

@@ -1,0 +1,94 @@
+"""Per-frame ground-truth records produced by the renderer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["EgoState", "FrameRecord", "MotionState", "ObjectAnnotation"]
+
+
+class MotionState(str, Enum):
+    """Ego motion taxonomy used by the paper's Fig 14."""
+
+    STATIC = "static"
+    STRAIGHT = "straight"
+    TURNING = "turning"
+
+
+@dataclass(frozen=True)
+class ObjectAnnotation:
+    """Occlusion-aware 2-D ground truth for one visible object.
+
+    Attributes
+    ----------
+    object_id:
+        Stable scene object id (> 0).
+    kind:
+        Object class (``car``, ``pedestrian``, ...).
+    bbox:
+        ``(x0, y0, x1, y1)`` pixel bounds, inclusive-exclusive, of the
+        *visible* pixels.
+    depth:
+        Camera-frame depth of the object centre, metres.
+    visibility:
+        Fraction of the object's unoccluded projection that survived
+        occlusion by nearer objects, in ``(0, 1]``.
+    pixel_count:
+        Number of visible pixels.
+    """
+
+    object_id: int
+    kind: str
+    bbox: tuple[float, float, float, float]
+    depth: float
+    visibility: float
+    pixel_count: int
+
+    @property
+    def area(self) -> float:
+        x0, y0, x1, y1 = self.bbox
+        return max(0.0, x1 - x0) * max(0.0, y1 - y0)
+
+
+@dataclass(frozen=True)
+class EgoState:
+    """Ego motion ground truth attached to a frame."""
+
+    speed: float
+    yaw_rate: float
+    pitch_rate: float
+    motion_state: MotionState
+
+    @property
+    def moving(self) -> bool:
+        return self.motion_state is not MotionState.STATIC
+
+
+@dataclass
+class FrameRecord:
+    """One rendered frame with its ground truth.
+
+    Attributes
+    ----------
+    index, time:
+        Frame index and capture timestamp (seconds).
+    image:
+        ``(H, W)`` float32 grayscale in [0, 255].
+    id_buffer:
+        ``(H, W)`` int32 per-pixel object id (0 = sky, 1 = ground, >= 2 =
+        ``object_id``).
+    annotations:
+        Visible detectable objects.
+    ego:
+        Ego motion state.
+    """
+
+    index: int
+    time: float
+    image: np.ndarray
+    id_buffer: np.ndarray
+    annotations: list[ObjectAnnotation] = field(default_factory=list)
+    ego: EgoState | None = None

@@ -1,0 +1,191 @@
+"""Scene objects.
+
+Every object is a textured vertical rectangle ("billboard") standing on the
+ground plane — a deliberately simple geometry that nevertheless satisfies
+both observations DiVE builds on: objects stand on the ground, and every
+point of a (static) object at a given height moves with the translational MV
+field of that height.  Moving objects translate rigidly in the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SceneObject", "building", "moving_car", "parked_car", "pedestrian", "pole"]
+
+#: Object kinds treated as detectable foreground classes (the paper's
+#: evaluation reports AP for cars and pedestrians).
+DETECTABLE_KINDS = ("car", "pedestrian")
+
+
+@dataclass(frozen=True)
+class SceneObject:
+    """A billboard object in the world.
+
+    Attributes
+    ----------
+    kind:
+        ``car`` / ``pedestrian`` / ``building`` / ``pole``.
+    base:
+        ``(x, z)`` world position of the footprint centre at time 0.
+    width, height:
+        Face dimensions in metres.
+    velocity:
+        ``(vx, vz)`` world velocity in m/s (zero for static objects).
+    facing:
+        Unit horizontal direction of the face's *u* axis in the XZ plane.
+        The face normal is perpendicular to it.
+    texture_seed:
+        Identity for the procedural texture.
+    object_id:
+        Stable positive id used in the renderer's id-buffer and in
+        annotations; assigned by the scene builder.
+    speed_oscillation:
+        ``(amplitude m/s, frequency Hz, phase rad)`` sinusoidal modulation
+        of the object's speed along its velocity direction.  Real traffic
+        never holds a perfectly constant speed; without this, a leading car
+        pacing the ego has *exactly* zero relative image motion forever and
+        no motion-vector method could ever see it.
+    """
+
+    kind: str
+    base: tuple[float, float]
+    width: float
+    height: float
+    velocity: tuple[float, float] = (0.0, 0.0)
+    facing: tuple[float, float] = (1.0, 0.0)
+    texture_seed: int = 0
+    object_id: int = 0
+    speed_oscillation: tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"object dimensions must be positive, got {self.width}x{self.height}")
+        norm = float(np.hypot(*self.facing))
+        if norm == 0:
+            raise ValueError("facing direction must be non-zero")
+        object.__setattr__(self, "facing", (self.facing[0] / norm, self.facing[1] / norm))
+
+    @property
+    def is_moving(self) -> bool:
+        return self.velocity != (0.0, 0.0)
+
+    @property
+    def detectable(self) -> bool:
+        return self.kind in DETECTABLE_KINDS
+
+    def position_at(self, t: float) -> tuple[float, float]:
+        """Footprint centre ``(x, z)`` at time ``t`` (seconds)."""
+        x = self.base[0] + self.velocity[0] * t
+        z = self.base[1] + self.velocity[1] * t
+        amp, freq, phase = self.speed_oscillation
+        if amp != 0.0 and freq != 0.0:
+            speed = float(np.hypot(*self.velocity))
+            if speed > 0:
+                # Integral of amp*sin(w t + phase) along the direction of travel.
+                w = 2.0 * np.pi * freq
+                travel = (amp / w) * (np.cos(phase) - np.cos(w * t + phase))
+                ux, uz = self.velocity[0] / speed, self.velocity[1] / speed
+                x += ux * travel
+                z += uz * travel
+        return (x, z)
+
+    def corners_at(self, t: float) -> np.ndarray:
+        """The four face corners at time ``t`` as a ``(4, 3)`` world array.
+
+        Order: bottom-left, bottom-right, top-right, top-left (``Y`` is
+        down, so "top" means ``Y = -height``).
+        """
+        cx, cz = self.position_at(t)
+        ux, uz = self.facing
+        hw = self.width / 2.0
+        bl = (cx - hw * ux, 0.0, cz - hw * uz)
+        br = (cx + hw * ux, 0.0, cz + hw * uz)
+        tr = (cx + hw * ux, -self.height, cz + hw * uz)
+        tl = (cx - hw * ux, -self.height, cz - hw * uz)
+        return np.array([bl, br, tr, tl])
+
+    def plane_at(self, t: float) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Plane of the face at time ``t``: ``(point, normal, u_dir)``."""
+        cx, cz = self.position_at(t)
+        ux, uz = self.facing
+        point = np.array([cx, 0.0, cz])
+        u_dir = np.array([ux, 0.0, uz])
+        normal = np.array([-uz, 0.0, ux])
+        return point, normal, u_dir
+
+
+def building(x: float, z: float, *, width: float = 12.0, height: float = 9.0, seed: int = 0) -> SceneObject:
+    """A roadside building face, oriented parallel to the road (Z axis)."""
+    return SceneObject(
+        kind="building",
+        base=(x, z),
+        width=width,
+        height=height,
+        facing=(0.0, 1.0),
+        texture_seed=seed,
+    )
+
+
+def pole(x: float, z: float, *, height: float = 5.0, seed: int = 0) -> SceneObject:
+    """A lamp post / sign pole."""
+    return SceneObject(kind="pole", base=(x, z), width=0.3, height=height, texture_seed=seed)
+
+
+def parked_car(x: float, z: float, *, seed: int = 0) -> SceneObject:
+    """A stationary car seen roughly from behind/front (face across the road)."""
+    return SceneObject(kind="car", base=(x, z), width=1.9, height=1.5, texture_seed=seed)
+
+
+def moving_car(
+    x: float,
+    z: float,
+    *,
+    speed: float,
+    direction: float = 1.0,
+    seed: int = 0,
+    oscillation: tuple[float, float, float] | None = None,
+) -> SceneObject:
+    """A car driving along the road.
+
+    Parameters
+    ----------
+    speed:
+        Speed magnitude, m/s.
+    direction:
+        +1 for same direction as the ego lane (+Z), -1 for oncoming.
+    oscillation:
+        Speed oscillation ``(amplitude, frequency, phase)``; a default
+        traffic-like wobble (derived from ``seed``) when ``None``.
+    """
+    if oscillation is None:
+        oscillation = (0.8 + 0.4 * ((seed >> 4) % 3), 0.25 + 0.05 * (seed % 4), float(seed % 7))
+    return SceneObject(
+        kind="car",
+        base=(x, z),
+        width=1.9,
+        height=1.5,
+        velocity=(0.0, float(direction) * float(speed)),
+        texture_seed=seed,
+        speed_oscillation=oscillation,
+    )
+
+
+def pedestrian(
+    x: float,
+    z: float,
+    *,
+    velocity: tuple[float, float] = (0.0, 0.0),
+    seed: int = 0,
+) -> SceneObject:
+    """A pedestrian (0.6 m x 1.75 m billboard), optionally walking."""
+    return SceneObject(
+        kind="pedestrian",
+        base=(x, z),
+        width=0.6,
+        height=1.75,
+        velocity=velocity,
+        texture_seed=seed,
+    )

@@ -1,0 +1,58 @@
+"""Scene: ego trajectory + objects + surface parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.world.objects import SceneObject
+from repro.world.trajectory import EgoTrajectory
+
+__all__ = ["Scene"]
+
+#: Renderer id-buffer codes for the non-object surfaces.
+SKY_ID = 0
+GROUND_ID = 1
+_FIRST_OBJECT_ID = 2
+
+
+@dataclass
+class Scene:
+    """A complete synthetic world.
+
+    Attributes
+    ----------
+    trajectory:
+        Ego trajectory (also defines the clip duration).
+    objects:
+        Scene objects; ids are (re)assigned sequentially from 2 on
+        construction so they can index the renderer's id-buffer.
+    texture_seed:
+        Seed for the ground/sky textures.
+    weather_contrast:
+        Global texture contrast multiplier (models overcast/rainy RobotCar
+        clips; 1.0 = clear).
+    max_ground_depth:
+        Ground is rendered out to this camera distance (metres); beyond it
+        pixels fade into the horizon.
+    """
+
+    trajectory: EgoTrajectory
+    objects: list[SceneObject] = field(default_factory=list)
+    texture_seed: int = 0
+    weather_contrast: float = 1.0
+    max_ground_depth: float = 250.0
+
+    def __post_init__(self) -> None:
+        self.objects = [
+            replace(obj, object_id=_FIRST_OBJECT_ID + i) for i, obj in enumerate(self.objects)
+        ]
+
+    @property
+    def duration(self) -> float:
+        return self.trajectory.duration
+
+    def object_by_id(self, object_id: int) -> SceneObject:
+        obj = self.objects[object_id - _FIRST_OBJECT_ID]
+        if obj.object_id != object_id:
+            raise KeyError(f"no object with id {object_id}")
+        return obj

@@ -1,0 +1,212 @@
+"""Ego trajectories.
+
+A trajectory is a sequence of segments (straight driving, turning,
+stopping), each with constant yaw rate and linearly interpolated speed.
+Poses are obtained by fine-step numerical integration, cached at 100 Hz —
+the same rate as KITTI's IMU — which doubles as the ground-truth gyro used
+in the rotation-estimation experiments (Fig 7, Fig 10).
+
+A small vertical pitch oscillation ("road buzz") can be added to exercise
+the pitch half of the rotational-component elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.camera import CameraPose
+
+__all__ = ["EgoTrajectory", "Segment", "StopSegment", "StraightSegment", "TurnSegment"]
+
+_IMU_RATE = 100.0  # Hz, matches KITTI
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One trajectory segment with constant yaw rate and linear speed ramp.
+
+    Attributes
+    ----------
+    duration:
+        Segment length, seconds.
+    speed_start, speed_end:
+        Ego speed at the segment boundaries, m/s (interpolated linearly).
+    yaw_rate:
+        Constant yaw rate, rad/s (positive = turning right).
+    """
+
+    duration: float
+    speed_start: float
+    speed_end: float
+    yaw_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("segment duration must be positive")
+        if self.speed_start < 0 or self.speed_end < 0:
+            raise ValueError("speeds must be non-negative")
+
+    def speed_at(self, tau: float) -> float:
+        """Speed at local time ``tau`` within the segment."""
+        frac = min(max(tau / self.duration, 0.0), 1.0)
+        return self.speed_start + (self.speed_end - self.speed_start) * frac
+
+
+def StraightSegment(duration: float, speed: float, *, speed_end: float | None = None) -> Segment:
+    """Straight driving at (possibly ramping) speed."""
+    return Segment(duration=duration, speed_start=speed, speed_end=speed if speed_end is None else speed_end)
+
+
+def TurnSegment(duration: float, speed: float, yaw_rate: float) -> Segment:
+    """Turning at constant speed and yaw rate."""
+    return Segment(duration=duration, speed_start=speed, speed_end=speed, yaw_rate=yaw_rate)
+
+
+def StopSegment(duration: float) -> Segment:
+    """Standing still."""
+    return Segment(duration=duration, speed_start=0.0, speed_end=0.0)
+
+
+class EgoTrajectory:
+    """Integrated ego motion with pose lookup and IMU ground truth."""
+
+    def __init__(
+        self,
+        segments: list[Segment],
+        *,
+        camera_height: float = 1.5,
+        pitch_amplitude: float = 0.0,
+        pitch_frequency: float = 1.3,
+        start_position: tuple[float, float] = (0.0, 0.0),
+        start_yaw: float = 0.0,
+        mount_yaw: float = 0.0,
+    ):
+        """
+        Parameters
+        ----------
+        segments:
+            Trajectory segments, traversed in order.
+        camera_height:
+            Camera height above the ground, metres.
+        pitch_amplitude:
+            Amplitude (radians) of a sinusoidal pitch oscillation active
+            while the agent moves; zero disables it.
+        pitch_frequency:
+            Oscillation frequency, Hz.
+        start_position:
+            Initial ``(x, z)`` world position.
+        start_yaw:
+            Initial yaw, radians.
+        mount_yaw:
+            Fixed yaw offset of the camera relative to the direction of
+            travel (an imperfectly mounted dashcam).  Shifts the focus of
+            expansion away from the principal point by ~``f * mount_yaw``
+            pixels — the situation DiVE's FOE calibration handles.
+        """
+        if not segments:
+            raise ValueError("trajectory needs at least one segment")
+        self.segments = list(segments)
+        self.camera_height = float(camera_height)
+        self.pitch_amplitude = float(pitch_amplitude)
+        self.pitch_frequency = float(pitch_frequency)
+        self.mount_yaw = float(mount_yaw)
+        self.duration = float(sum(s.duration for s in segments))
+        self._integrate(start_position, start_yaw)
+
+    def _integrate(self, start_position: tuple[float, float], start_yaw: float) -> None:
+        dt = 1.0 / _IMU_RATE
+        n = int(np.ceil(self.duration * _IMU_RATE)) + 1
+        times = np.arange(n) * dt
+        speeds = np.empty(n)
+        yaw_rates = np.empty(n)
+        starts = np.cumsum([0.0] + [s.duration for s in self.segments])
+        seg_idx = np.clip(np.searchsorted(starts, times, side="right") - 1, 0, len(self.segments) - 1)
+        for i, t in enumerate(times):
+            seg = self.segments[seg_idx[i]]
+            speeds[i] = seg.speed_at(t - starts[seg_idx[i]])
+            yaw_rates[i] = seg.yaw_rate
+        yaws = start_yaw + np.concatenate([[0.0], np.cumsum(yaw_rates[:-1] * dt)])
+        xs = start_position[0] + np.concatenate([[0.0], np.cumsum(speeds[:-1] * np.sin(yaws[:-1]) * dt)])
+        zs = start_position[1] + np.concatenate([[0.0], np.cumsum(speeds[:-1] * np.cos(yaws[:-1]) * dt)])
+
+        self._times = times
+        self._speeds = speeds
+        self._yaw_rates = yaw_rates
+        self._yaws = yaws
+        self._xs = xs
+        self._zs = zs
+
+    def _interp(self, arr: np.ndarray, t: float) -> float:
+        return float(np.interp(min(max(t, 0.0), self._times[-1]), self._times, arr))
+
+    def pitch_at(self, t: float) -> float:
+        """Pitch angle at time ``t`` (road-buzz oscillation, zero when stopped)."""
+        if self.pitch_amplitude == 0.0:
+            return 0.0
+        gate = 1.0 if self.speed_at(t) > 0.05 else 0.0
+        return gate * self.pitch_amplitude * float(np.sin(2.0 * np.pi * self.pitch_frequency * t))
+
+    def pitch_rate_at(self, t: float) -> float:
+        """Analytic derivative of :meth:`pitch_at` (rad/s)."""
+        if self.pitch_amplitude == 0.0 or self.speed_at(t) <= 0.05:
+            return 0.0
+        w = 2.0 * np.pi * self.pitch_frequency
+        return self.pitch_amplitude * w * float(np.cos(w * t))
+
+    def speed_at(self, t: float) -> float:
+        return self._interp(self._speeds, t)
+
+    def yaw_at(self, t: float) -> float:
+        return self._interp(self._yaws, t)
+
+    def yaw_rate_at(self, t: float) -> float:
+        return self._interp(self._yaw_rates, t)
+
+    def pose_at(self, t: float) -> CameraPose:
+        """Camera pose at time ``t`` (travel yaw plus the mounting offset)."""
+        return CameraPose(
+            position=(self._interp(self._xs, t), -self.camera_height, self._interp(self._zs, t)),
+            yaw=self.yaw_at(t) + self.mount_yaw,
+            pitch=self.pitch_at(t),
+        )
+
+    def motion_state_at(self, t: float, *, speed_eps: float = 0.1, turn_eps: float = 0.03) -> str:
+        """Label ``static`` / ``straight`` / ``turning`` (Fig 14 taxonomy)."""
+        if self.speed_at(t) < speed_eps:
+            return "static"
+        if abs(self.yaw_rate_at(t)) > turn_eps:
+            return "turning"
+        return "straight"
+
+    def delta_between(self, t0: float, t1: float) -> tuple[tuple[float, float, float], tuple[float, float, float]]:
+        """Camera-frame motion from ``t0`` to ``t1``.
+
+        Returns ``(delta, dphi)`` where ``delta`` is the camera translation
+        expressed in the *current* (time ``t1``) camera frame and ``dphi``
+        the right-handed rotation increments ``(pitch, yaw, roll)`` — the
+        exact quantities the analytic flow equations take.
+        """
+        pose0, pose1 = self.pose_at(t0), self.pose_at(t1)
+        dworld = np.asarray(pose1.position) - np.asarray(pose0.position)
+        delta_cam = pose1.rotation().T @ dworld
+        dphi = (pose1.pitch - pose0.pitch, pose1.yaw - pose0.yaw, 0.0)
+        return (float(delta_cam[0]), float(delta_cam[1]), float(delta_cam[2])), dphi
+
+    def imu_samples(self, *, rng: np.random.Generator | None = None, gyro_noise: float = 0.0):
+        """100 Hz gyro ground truth ``(times, pitch_rate, yaw_rate)``.
+
+        Mirrors the KITTI IMU stream used to ground-truth the rotation-speed
+        estimates in Figs 7 and 10.  Optional Gaussian noise models sensor
+        noise.
+        """
+        times = self._times
+        pitch_rates = np.array([self.pitch_rate_at(t) for t in times])
+        yaw_rates = self._yaw_rates.copy()
+        if gyro_noise > 0.0:
+            if rng is None:
+                rng = np.random.default_rng()
+            pitch_rates = pitch_rates + rng.normal(0.0, gyro_noise, len(times))
+            yaw_rates = yaw_rates + rng.normal(0.0, gyro_noise, len(times))
+        return times, pitch_rates, yaw_rates

@@ -1,0 +1,122 @@
+"""Tests for the analysis subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    foreground_quality,
+    pr_curve,
+    render_series,
+    response_time_series,
+    sparkline,
+)
+from repro.baselines.base import FrameResult, SchemeRun
+from repro.edge import Detection, average_precision
+from repro.world import nuscenes_like
+
+
+class TestPRCurve:
+    def gts(self):
+        return [[Detection("car", (0, 0, 10, 10), 1.0), Detection("car", (20, 20, 30, 30), 1.0)]]
+
+    def test_perfect_curve(self):
+        preds = [[Detection("car", (0, 0, 10, 10), 0.9), Detection("car", (20, 20, 30, 30), 0.8)]]
+        recall, precision, conf = pr_curve(preds, self.gts(), kind="car")
+        assert recall[-1] == pytest.approx(1.0)
+        assert (precision == 1.0).all()
+        assert (np.diff(conf) <= 0).all()
+
+    def test_fp_drops_precision(self):
+        preds = [[Detection("car", (0, 0, 10, 10), 0.9), Detection("car", (50, 50, 60, 60), 0.8)]]
+        recall, precision, _ = pr_curve(preds, self.gts(), kind="car")
+        assert precision[-1] == pytest.approx(0.5)
+        assert recall[-1] == pytest.approx(0.5)
+
+    def test_recall_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        preds = [
+            [Detection("car", (x, x, x + 10, x + 10), float(rng.random())) for x in range(0, 50, 10)]
+        ]
+        recall, _, _ = pr_curve(preds, self.gts(), kind="car")
+        assert (np.diff(recall) >= 0).all()
+
+    def test_consistent_with_ap(self):
+        preds = [[Detection("car", (0, 0, 10, 10), 0.9), Detection("car", (50, 50, 60, 60), 0.8)]]
+        recall, precision, _ = pr_curve(preds, self.gts(), kind="car")
+        ap = average_precision(preds, self.gts(), kind="car")
+        # All-point AP equals the integral under the (interpolated) curve.
+        interp = np.maximum.accumulate(precision[::-1])[::-1]
+        r = np.concatenate([[0.0], recall])
+        p = np.concatenate([[interp[0]], interp])
+        assert ap == pytest.approx(float(np.sum((r[1:] - r[:-1]) * p[1:])))
+
+    def test_empty(self):
+        recall, precision, conf = pr_curve([[]], [[]], kind="car")
+        assert recall.size == 0
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            pr_curve([[]], [[], []], kind="car")
+
+
+class TestResponseSeries:
+    def test_series(self):
+        frames = [
+            FrameResult(index=i, capture_time=i / 10, detections=[], response_time=0.05 * (i + 1), source="edge")
+            for i in range(3)
+        ]
+        run = SchemeRun(scheme="x", clip_name="c", frames=frames)
+        t, r, s = response_time_series(run)
+        assert list(t) == [0.0, 0.1, 0.2]
+        assert r[2] == pytest.approx(0.15)
+        assert s == ["edge", "edge", "edge"]
+
+
+class TestSparkline:
+    def test_basic(self):
+        s = sparkline([0, 1, 2, 3])
+        assert len(s) == 4
+        assert s[0] == "▁" and s[-1] == "█"
+
+    def test_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_gaps_for_nan(self):
+        assert sparkline([0.0, float("nan"), 1.0])[1] == " "
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_pinned_scale(self):
+        s = sparkline([0.5], lo=0.0, hi=1.0)
+        assert s in "▃▄▅"
+
+    def test_render_series_downsamples(self):
+        row = render_series("metric", np.linspace(0, 1, 500), width=20)
+        assert "metric" in row
+        # Range endpoints are bin means, so slightly inside [0, 1].
+        label_part, range_part = row.rsplit("  ", 1)
+        lo, hi = (float(v) for v in range_part.split(".."))
+        assert 0.0 <= lo < 0.1 and 0.9 < hi <= 1.0
+        # The sparkline itself is width-limited.
+        assert len(label_part.split(" ")[-1]) <= 20
+
+    def test_render_series_all_nan(self):
+        row = render_series("x", [float("nan")] * 3)
+        assert "n/a" in row
+
+
+class TestForegroundQuality:
+    def test_report_on_clip(self):
+        clip = nuscenes_like(0, n_frames=8, resolution=(320, 192))
+        report = foreground_quality(clip, max_frames=8)
+        assert 0.0 <= report.mean_object_coverage <= 1.0
+        assert 0.0 <= report.full_coverage_rate <= 1.0
+        assert 0.0 <= report.mean_foreground_fraction <= 1.0
+        assert 0.0 <= report.mask_precision <= 1.0
+        assert len(report.per_frame_coverage) >= 1
+
+    def test_max_frames_respected(self):
+        clip = nuscenes_like(1, n_frames=12, resolution=(320, 192))
+        report = foreground_quality(clip, max_frames=4)
+        assert len(report.per_frame_coverage) <= 3  # first frame has no MVs

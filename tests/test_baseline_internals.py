@@ -1,0 +1,134 @@
+"""Unit tests for baseline-scheme internals and shared plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DDSConfig, DDSScheme, EAARConfig, EAARScheme, LatencyModel, O3Config, O3Scheme
+from repro.baselines.base import FrameResult, SchemeRun
+from repro.codec.encoder import encode_region_update
+from repro.edge import Detection
+
+
+class TestEAARRoiOffsets:
+    def scheme(self, **kw):
+        return EAARScheme(EAARConfig(**kw))
+
+    def test_roi_gets_zero_offset(self):
+        s = self.scheme(roi_dilate_blocks=0)
+        dets = [Detection("car", (32.0, 32.0, 64.0, 64.0), 0.9)]
+        offsets = s._roi_offsets(dets, (8, 8), 16)
+        assert offsets[2, 2] == 0.0  # inside the box
+        assert offsets[0, 0] == 10.0  # QP40 - QP30
+
+    def test_dilation_grows_roi(self):
+        dets = [Detection("car", (32.0, 32.0, 48.0, 48.0), 0.9)]
+        tight = self.scheme(roi_dilate_blocks=0)._roi_offsets(dets, (8, 8), 16)
+        wide = self.scheme(roi_dilate_blocks=1)._roi_offsets(dets, (8, 8), 16)
+        assert (wide == 0).sum() > (tight == 0).sum()
+
+    def test_no_detections_all_background(self):
+        offsets = self.scheme()._roi_offsets([], (4, 4), 16)
+        assert (offsets == 10.0).all()
+
+    def test_boxes_clipped_to_grid(self):
+        dets = [Detection("car", (-50.0, -50.0, 2000.0, 2000.0), 0.9)]
+        offsets = self.scheme()._roi_offsets(dets, (4, 4), 16)
+        assert (offsets == 0.0).all()
+
+
+class TestDDSRegionMask:
+    def test_region_covers_detection(self):
+        s = DDSScheme(DDSConfig(region_dilate_blocks=0))
+        dets = [Detection("car", (16.0, 16.0, 48.0, 48.0), 0.9)]
+        mask = s._region_mask(dets, (6, 6), 16)
+        assert mask[1:3, 1:3].all()
+        assert not mask[4:, 4:].any()
+
+    def test_empty(self):
+        s = DDSScheme()
+        assert not s._region_mask([], (4, 4), 16).any()
+
+
+class TestEncodeRegionUpdate:
+    def test_updates_only_region(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0, 255, (64, 64)).astype(np.float32)
+        target = rng.uniform(0, 255, (64, 64)).astype(np.float32)
+        mask = np.zeros((4, 4), dtype=bool)
+        mask[1, 1] = True
+        bits, updated = encode_region_update(base, target, mask, qp=4.0)
+        # Outside the region the image is untouched.
+        outside = np.ones((64, 64), dtype=bool)
+        outside[16:32, 16:32] = False
+        np.testing.assert_array_equal(updated[outside], base[outside])
+        # Inside, it moved toward the target.
+        err_before = np.abs(base[16:32, 16:32] - target[16:32, 16:32]).mean()
+        err_after = np.abs(updated[16:32, 16:32] - target[16:32, 16:32]).mean()
+        assert err_after < err_before * 0.2
+        assert bits > 0
+
+    def test_higher_qp_fewer_bits(self):
+        rng = np.random.default_rng(1)
+        base = rng.uniform(0, 255, (64, 64)).astype(np.float32)
+        target = rng.uniform(0, 255, (64, 64)).astype(np.float32)
+        mask = np.ones((4, 4), dtype=bool)
+        bits_lo, _ = encode_region_update(base, target, mask, qp=4.0)
+        bits_hi, _ = encode_region_update(base, target, mask, qp=30.0)
+        assert bits_hi < bits_lo
+
+    def test_empty_region_minimal(self):
+        base = np.zeros((32, 32), dtype=np.float32)
+        bits, updated = encode_region_update(base, base, np.zeros((2, 2), dtype=bool), qp=10.0)
+        np.testing.assert_array_equal(updated, base)
+        assert bits == pytest.approx(64.0)  # header only
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError):
+            encode_region_update(np.zeros((32, 32)), np.zeros((32, 32)), np.zeros((3, 3), dtype=bool), qp=10)
+
+
+class TestSchemeRunAggregates:
+    def frame(self, i, rt=0.1, source="edge", nbytes=100, dropped=False):
+        return FrameResult(
+            index=i, capture_time=i / 10, detections=[], response_time=rt, source=source,
+            bytes_sent=nbytes, dropped=dropped,
+        )
+
+    def test_mean_response_ignores_inf(self):
+        run = SchemeRun(scheme="x", clip_name="c", frames=[self.frame(0, rt=0.1), self.frame(1, rt=float("inf"))])
+        assert run.mean_response_time == pytest.approx(0.1)
+
+    def test_empty_run(self):
+        run = SchemeRun(scheme="x", clip_name="c")
+        assert run.mean_response_time == float("inf")
+        assert run.total_bytes == 0
+        assert run.drop_rate == 0.0
+
+    def test_totals(self):
+        run = SchemeRun(
+            scheme="x",
+            clip_name="c",
+            frames=[self.frame(0, nbytes=100), self.frame(1, nbytes=50, dropped=True)],
+        )
+        assert run.total_bytes == 150
+        assert run.drop_rate == pytest.approx(0.5)
+
+    def test_latency_model_defaults(self):
+        lat = LatencyModel()
+        assert 0 < lat.track < lat.encode
+        assert lat.motion_analysis > 0
+
+
+class TestConfigDefaults:
+    def test_o3_config(self):
+        cfg = O3Config()
+        assert cfg.key_interval == 5
+
+    def test_eaar_paper_qps(self):
+        cfg = EAARConfig()
+        assert cfg.roi_qp == 30.0
+        assert cfg.background_qp == 40.0
+
+    def test_dds_split(self):
+        cfg = DDSConfig()
+        assert 0 < cfg.low_fraction < 1

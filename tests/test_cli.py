@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for cmd in ("demo", "table1", "fig06", "fig07", "fig09", "fig10", "fig11",
+                    "fig12", "fig13", "fig14", "fig16", "fig17", "ablation", "scalability"):
+            args = parser.parse_args([cmd, "--clips", "1", "--frames", "8"])
+            assert args.command == cmd
+            assert args.clips == 1
+            assert args.frames == 8
+
+    def test_demo_options(self):
+        args = build_parser().parse_args(["demo", "--dataset", "robotcar", "--bandwidth", "3.5"])
+        assert args.dataset == "robotcar"
+        assert args.bandwidth == 3.5
+
+    def test_fig16_vs_17_dataset(self):
+        assert build_parser().parse_args(["fig16"]).figure == 16
+        assert build_parser().parse_args(["fig17"]).figure == 17
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_demo_runs(self, capsys):
+        # Tiny demo: 1 clip, few frames at reduced effort via frames flag.
+        rc = main(["demo", "--frames", "6", "--clips", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mAP" in out
+        assert "response time" in out
+
+    def test_table1_runs(self, capsys):
+        rc = main(["table1", "--clips", "1", "--frames", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "nuscenes" in out and "robotcar" in out

@@ -1,0 +1,106 @@
+"""Tests for the PSNR/SSIM quality metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codec import psnr, region_psnr, ssim
+
+
+def img(seed=0, shape=(48, 64)):
+    return np.random.default_rng(seed).uniform(0, 255, shape)
+
+
+class TestPSNR:
+    def test_identical_inf(self):
+        a = img()
+        assert psnr(a, a) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 16.0)  # MSE = 256
+        assert psnr(a, b) == pytest.approx(10 * np.log10(255**2 / 256))
+
+    def test_symmetry(self):
+        a, b = img(1), img(2)
+        assert psnr(a, b) == pytest.approx(psnr(b, a))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4)), np.zeros((4, 5)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1.0, 60.0), st.integers(0, 100))
+    def test_monotone_in_noise(self, sigma, seed):
+        a = img(seed)
+        rng = np.random.default_rng(seed + 1)
+        small = np.clip(a + rng.normal(0, sigma / 2, a.shape), 0, 255)
+        large = np.clip(a + rng.normal(0, sigma * 2, a.shape), 0, 255)
+        assert psnr(a, small) >= psnr(a, large) - 1.5  # noise realisations vary
+
+
+class TestRegionPSNR:
+    def test_region_only(self):
+        a = img(3)
+        b = a.copy()
+        b[:10] += 40.0  # damage only the top
+        mask_top = np.zeros(a.shape, dtype=bool)
+        mask_top[:10] = True
+        assert region_psnr(a, b, ~mask_top) == float("inf")
+        assert region_psnr(a, b, mask_top) < 30
+
+    def test_empty_mask_nan(self):
+        a = img(4)
+        assert np.isnan(region_psnr(a, a, np.zeros(a.shape, dtype=bool)))
+
+    def test_mask_shape_checked(self):
+        a = img(5)
+        with pytest.raises(ValueError):
+            region_psnr(a, a, np.zeros((2, 2), dtype=bool))
+
+
+class TestSSIM:
+    def test_identical_one(self):
+        a = img(6)
+        assert ssim(a, a) == pytest.approx(1.0)
+
+    def test_noise_reduces(self):
+        # A smooth reference (structure to destroy), not white noise.
+        from repro.utils.noise import value_noise_2d
+
+        yy, xx = np.mgrid[0:48, 0:64]
+        a = 255 * value_noise_2d(xx, yy, seed=3, scale=8.0, octaves=2)
+        rng = np.random.default_rng(8)
+        b = np.clip(a + rng.normal(0, 30, a.shape), 0, 255)
+        assert ssim(a, b) < 0.9
+
+    def test_more_noise_lower(self):
+        a = img(9)
+        rng = np.random.default_rng(10)
+        b1 = np.clip(a + rng.normal(0, 10, a.shape), 0, 255)
+        b2 = np.clip(a + rng.normal(0, 60, a.shape), 0, 255)
+        assert ssim(a, b2) < ssim(a, b1)
+
+    def test_window_validation(self):
+        a = img(11)
+        with pytest.raises(ValueError):
+            ssim(a, a, window=4)
+        with pytest.raises(ValueError):
+            ssim(a, a, window=1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((5, 4)))
+
+    def test_codec_quality_gradient(self):
+        """Encoding at lower QP yields higher SSIM and PSNR."""
+        from repro.codec import VideoEncoder
+
+        frame = img(12, shape=(64, 64)).astype(np.float32)
+        enc_hi = VideoEncoder()
+        hi = enc_hi.encode(frame, base_qp=8)
+        enc_lo = VideoEncoder()
+        lo = enc_lo.encode(frame, base_qp=44)
+        assert psnr(frame, hi.reconstruction) > psnr(frame, lo.reconstruction)
+        assert ssim(frame, hi.reconstruction) > ssim(frame, lo.reconstruction)

@@ -1,0 +1,111 @@
+"""Tests for online FOE calibration (fixed FOE of an imperfect mount)."""
+
+import numpy as np
+import pytest
+
+from repro.codec import estimate_motion
+from repro.core import FOECalibrator, block_centers
+from repro.geometry import CameraIntrinsics, translational_flow
+from repro.world import EgoTrajectory, StraightSegment, nuscenes_like
+from repro.world.scene import Scene
+from repro.world.renderer import Renderer
+
+INTR = CameraIntrinsics(focal=557.0, width=640, height=384)
+GRID = (24, 40)
+
+
+def field_with_foe(foe_x: float, foe_y: float = 0.0, *, dz: float = 0.9, noise: float = 0.0, seed: int = 0):
+    """Analytic static-scene field whose FOE sits at (foe_x, foe_y)."""
+    rng = np.random.default_rng(seed)
+    x, y = block_centers(GRID, INTR)
+    f = INTR.focal
+    depth = np.where(y >= 2, f * 1.5 / np.maximum(y, 2.0), 50.0)
+    delta = (foe_x * dz / f, foe_y * dz / f, dz)
+    vx, vy = translational_flow(x, y, depth, delta, f, exact=False)
+    if noise:
+        vx = vx + rng.normal(0, noise, GRID)
+        vy = vy + rng.normal(0, noise, GRID)
+    return np.stack([vx, vy], axis=-1)
+
+
+class TestFOECalibrator:
+    def test_initial_state(self):
+        cal = FOECalibrator(INTR)
+        assert cal.foe == (0.0, 0.0)
+        assert not cal.calibrated
+
+    def test_converges_to_offset_foe(self):
+        cal = FOECalibrator(INTR, smoothing=0.3)
+        for seed in range(10):
+            cal.update(field_with_foe(20.0, noise=0.05, seed=seed), moving=True, dphi=(0.0, 0.0))
+        assert cal.calibrated
+        assert cal.foe[0] == pytest.approx(20.0, abs=3.0)
+        assert cal.foe[1] == pytest.approx(0.0, abs=3.0)
+
+    def test_skips_stopped_frames(self):
+        cal = FOECalibrator(INTR)
+        cal.update(np.zeros((*GRID, 2)), moving=False)
+        assert not cal.calibrated
+
+    def test_skips_turning_frames(self):
+        cal = FOECalibrator(INTR)
+        cal.update(field_with_foe(20.0), moving=True, dphi=(0.0, 0.01))
+        assert not cal.calibrated
+
+    def test_rejects_unphysical_estimates(self):
+        cal = FOECalibrator(INTR, max_offset_fraction=0.02)
+        # FOE at 20 px > 2% of 640 = 12.8 px: rejected.
+        cal.update(field_with_foe(20.0), moving=True, dphi=(0.0, 0.0))
+        assert not cal.calibrated
+
+    def test_needs_enough_vectors(self):
+        cal = FOECalibrator(INTR, min_vectors=10_000)
+        cal.update(field_with_foe(10.0), moving=True, dphi=(0.0, 0.0))
+        assert not cal.calibrated
+
+    def test_smoothing(self):
+        cal = FOECalibrator(INTR, smoothing=0.5)
+        cal.update(field_with_foe(10.0), moving=True, dphi=(0.0, 0.0))
+        first = cal.foe[0]
+        cal.update(field_with_foe(30.0), moving=True, dphi=(0.0, 0.0))
+        # Second estimate only moves halfway toward the new value.
+        assert first < cal.foe[0] < 30.0
+
+    def test_reset(self):
+        cal = FOECalibrator(INTR)
+        cal.update(field_with_foe(10.0), moving=True, dphi=(0.0, 0.0))
+        cal.reset()
+        assert cal.foe == (0.0, 0.0)
+        assert not cal.calibrated
+
+
+class TestMountYawIntegration:
+    def test_mount_yaw_shifts_foe_in_rendered_frames(self):
+        """With a yawed camera mount, the FOE measured from rendered-frame
+        motion vectors sits at ~f*mount_yaw — and the calibrator finds it."""
+        mount_yaw = 0.04  # ~2.3 degrees
+        intr = CameraIntrinsics(focal=0.87 * 320, width=320, height=192)
+        traj = EgoTrajectory([StraightSegment(2.0, 9.0)], mount_yaw=mount_yaw)
+        scene = Scene(trajectory=traj, objects=[], texture_seed=11)
+        renderer = Renderer(intr)
+        cal = FOECalibrator(intr, smoothing=0.4, min_vectors=12)
+        prev = None
+        for i in range(6):
+            rec = renderer.render(scene, 0.3 + i / 12.0)
+            if prev is not None:
+                # Range must cover the extra lateral displacement of the
+                # yawed mount, or clipped vectors bias the estimate.
+                me = estimate_motion(rec.image, prev, search_range=28)
+                cal.update(me.mv.astype(float), moving=True, dphi=(0.0, 0.0))
+            prev = rec.image
+        # Camera yawed right => camera-frame translation points left =>
+        # FOE left of the principal point at -f*tan(mount_yaw).
+        expected = -intr.focal * np.tan(mount_yaw)
+        assert cal.calibrated
+        assert cal.foe[0] == pytest.approx(expected, abs=0.45 * abs(expected))
+        assert abs(cal.foe[1]) < abs(expected)
+
+    def test_default_mount_is_centered(self):
+        traj = EgoTrajectory([StraightSegment(1.0, 8.0)])
+        assert traj.mount_yaw == 0.0
+        assert traj.pose_at(0.5).yaw == 0.0

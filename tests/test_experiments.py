@@ -1,0 +1,179 @@
+"""Tests for the per-figure experiment entry points (small configurations).
+
+These validate that every harness runs end-to-end, returns the structure
+the benchmarks print, and — where cheap enough — that the paper's headline
+*shape* holds even at test scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    collect_fields,
+    format_table,
+    run_fig06,
+    run_fig07,
+    run_fig09,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig16_17,
+    run_table1,
+    scaled_bandwidth,
+)
+from repro.experiments.config import dataset_clips
+from repro.world import nuscenes_like
+
+TINY = ExperimentConfig(n_clips=1, n_frames=10)
+
+
+class TestConfig:
+    def test_dataset_clips(self):
+        clips = dataset_clips("nuscenes", TINY)
+        assert len(clips) == 1
+        assert clips[0].n_frames == 10
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            dataset_clips("waymo", TINY)
+
+    def test_scaled_bandwidth_monotone(self):
+        clip = nuscenes_like(0, n_frames=2)
+        assert scaled_bandwidth(2.0, clip) == 2 * scaled_bandwidth(1.0, clip)
+
+
+class TestTable1:
+    def test_rows(self):
+        rows = run_table1(TINY)
+        assert {r.dataset for r in rows} == {"nuscenes", "robotcar"}
+        for r in rows:
+            assert r.frames == 10
+            assert r.cars >= 0 and r.pedestrians >= 0
+
+    def test_traffic_mix_shape(self):
+        """nuScenes is car-heavy; RobotCar is pedestrian-heavy (Table I)."""
+        cfg = ExperimentConfig(n_clips=2, n_frames=10)
+        rows = {r.dataset: r for r in run_table1(cfg)}
+        nus, rob = rows["nuscenes"], rows["robotcar"]
+        assert nus.cars_per_frame > nus.pedestrians_per_frame
+        assert rob.pedestrians_per_frame > rob.cars_per_frame
+
+
+class TestFig06:
+    def test_separation(self):
+        cfg = ExperimentConfig(n_clips=1, n_frames=48)
+        study = run_fig06(cfg)
+        assert study.accuracy > 0.9
+        assert np.median(study.eta_moving) > study.threshold
+        assert np.median(study.eta_stopped) < study.threshold
+
+    def test_cdf_monotone(self):
+        cfg = ExperimentConfig(n_clips=1, n_frames=48)
+        study = run_fig06(cfg)
+        xs, ys = study.cdf("moving")
+        assert (np.diff(ys) >= 0).all()
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_series_present(self):
+        cfg = ExperimentConfig(n_clips=1, n_frames=48)
+        study = run_fig06(cfg)
+        times, etas, moving = study.series
+        assert len(times) == len(etas) == len(moving)
+
+
+class TestFig07And10:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return collect_fields(ExperimentConfig(n_clips=1, n_frames=16))
+
+    def test_fig07_strategies(self, data):
+        study = run_fig07(data=data)
+        assert set(study.errors_y) == {"r30", "rand30", "rand500"}
+        for errs in study.errors_y.values():
+            assert (errs >= 0).all()
+        assert study.series is not None
+
+    def test_fig07_r_sampling_reasonable(self, data):
+        study = run_fig07(data=data)
+        # Estimated yaw speed tracks ground truth within a coarse bound.
+        assert np.median(study.errors_y["r30"]) < 0.05  # rad/s
+
+    def test_fig10_structure(self, data):
+        sweep = run_fig10(ks=[10, 40], data=data)
+        assert sweep.ks == [10, 40]
+        assert len(sweep.errors) == 2
+        assert all(t > 0 for t in sweep.times)
+
+
+class TestFig09:
+    def test_structure_and_time_order(self):
+        cfg = ExperimentConfig(n_clips=1, n_frames=8)
+        rows = run_fig09(cfg, methods=("dia", "hex"), datasets=("nuscenes",))
+        by_method = {r.method: r for r in rows}
+        assert set(by_method) == {"dia", "hex"}
+        for r in rows:
+            assert 0 <= r.map <= 1
+            assert r.me_time_per_frame > 0
+
+
+class TestFig11:
+    def test_structure(self):
+        rows = run_fig11(TINY, deltas=(5.0, None), bandwidths=(2.0,), datasets=("nuscenes",))
+        labels = {r.delta for r in rows}
+        assert labels == {"5", "adaptive"}
+        for r in rows:
+            assert 0 <= r.map <= 1
+
+
+class TestFig12:
+    def test_ap_decreases_with_background_qp(self):
+        cfg = ExperimentConfig(n_clips=1, n_frames=8)
+        rows = run_fig12(cfg, background_qps=(4.0, 44.0), datasets=("nuscenes",))
+        by_qp = {r.background_qp: r for r in rows}
+        assert by_qp[4.0].ap_car >= by_qp[44.0].ap_car - 1e-9
+
+
+class TestFig13:
+    def test_structure(self):
+        cfg = ExperimentConfig(n_clips=1, n_frames=12)
+        rows = run_fig13(cfg, intervals=(2.0,), datasets=("nuscenes",))
+        assert len(rows) == 2  # MOT on/off
+        assert {r.mot_enabled for r in rows} == {True, False}
+
+
+class TestFig14:
+    def test_structure(self):
+        cfg = ExperimentConfig(n_clips=1, n_frames=48)
+        rows = run_fig14(cfg, datasets=("nuscenes",))
+        states = {r.state for r in rows}
+        assert "straight" in states
+        for r in rows:
+            assert 0 <= r.ap_car <= 1
+
+
+class TestFig16:
+    def test_dive_vs_one_baseline(self):
+        from repro.baselines import O3Scheme
+        from repro.core import DiVEScheme
+
+        cfg = ExperimentConfig(n_clips=1, n_frames=10)
+        rows = run_fig16_17(
+            cfg, bandwidths=(3.0,), datasets=("nuscenes",), scheme_factories=(DiVEScheme, O3Scheme)
+        )
+        by_scheme = {r.scheme: r for r in rows}
+        assert by_scheme["DiVE"].map > by_scheme["O3"].map
+
+
+class TestReporting:
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.0], ["x", 3.14159]], title="T")
+        assert "T" in out
+        assert "3.142" in out
+        assert out.count("\n") == 4
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out

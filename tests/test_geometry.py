@@ -1,0 +1,322 @@
+"""Tests for the pinhole camera and analytic motion-vector fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    CameraIntrinsics,
+    CameraPose,
+    PinholeCamera,
+    combined_flow,
+    estimate_foe,
+    foe_consistency,
+    foe_position,
+    normalized_magnitude,
+    rotation_constraint_coefficients,
+    rotational_flow,
+    translational_flow,
+)
+from repro.geometry.flow import rotation_constraint_rhs
+
+INTR = CameraIntrinsics(focal=200.0, width=320, height=192)
+
+
+def make_camera(x=0.0, z=0.0, yaw=0.0, pitch=0.0, height=1.5):
+    return PinholeCamera(INTR, CameraPose(position=(x, -height, z), yaw=yaw, pitch=pitch))
+
+
+class TestIntrinsics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CameraIntrinsics(focal=-1, width=10, height=10)
+        with pytest.raises(ValueError):
+            CameraIntrinsics(focal=10, width=0, height=10)
+
+    def test_pixel_roundtrip(self):
+        px, py = INTR.pixels_from_centered(np.array([0.0]), np.array([0.0]))
+        assert px[0] == pytest.approx(INTR.cx)
+        x, y = INTR.centered_from_pixels(px, py)
+        assert x[0] == pytest.approx(0.0) and y[0] == pytest.approx(0.0)
+
+
+class TestProjection:
+    def test_point_on_axis_projects_to_center(self):
+        cam = make_camera()
+        x, y, z = cam.project(np.array([[0.0, -1.5, 10.0]]))
+        assert x[0] == pytest.approx(0.0)
+        assert y[0] == pytest.approx(0.0)
+        assert z[0] == pytest.approx(10.0)
+
+    def test_ground_point_projects_below_center(self):
+        cam = make_camera(height=1.5)
+        # A ground point straight ahead: world Y=0 -> camera Y=+1.5 -> y>0.
+        x, y, z = cam.project(np.array([[0.0, 0.0, 10.0]]))
+        assert y[0] > 0
+
+    def test_point_above_camera_projects_above_center(self):
+        cam = make_camera(height=1.5)
+        x, y, z = cam.project(np.array([[0.0, -5.0, 10.0]]))
+        assert y[0] < 0
+
+    def test_yaw_rotates_view(self):
+        cam = make_camera(yaw=np.pi / 2)  # looking along +X
+        x, y, z = cam.project(np.array([[10.0, -1.5, 0.0]]))
+        assert z[0] == pytest.approx(10.0)
+        assert x[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_behind_camera_flagged_by_depth(self):
+        cam = make_camera()
+        _, _, z = cam.project(np.array([[0.0, -1.5, -5.0]]))
+        assert z[0] < 0
+
+    def test_world_camera_roundtrip(self):
+        pose = CameraPose(position=(3.0, -1.2, 7.0), yaw=0.4, pitch=-0.1)
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(20, 3)) * 10
+        back = pose.camera_to_world(pose.world_to_camera(pts))
+        np.testing.assert_allclose(back, pts, atol=1e-10)
+
+    def test_rotation_orthonormal(self):
+        pose = CameraPose(position=(0, 0, 0), yaw=0.7, pitch=0.2)
+        r = pose.rotation()
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_backproject_ground_roundtrip(self):
+        cam = make_camera(x=2.0, z=5.0, yaw=0.3)
+        gp = np.array([[6.0, 0.0, 30.0]])
+        px, py, z = cam.project_to_pixels(gp)
+        pts, t = cam.backproject_to_ground(px, py)
+        assert t[0] > 0
+        np.testing.assert_allclose(pts[0], gp[0], atol=1e-8)
+
+    def test_pixel_rays_through_projection(self):
+        cam = make_camera(yaw=-0.2, pitch=0.05)
+        world = np.array([[1.0, -0.5, 20.0]])
+        px, py, z = cam.project_to_pixels(world)
+        dirs = cam.pixel_rays(px, py)
+        origin = np.asarray(cam.pose.position)
+        # The ray must pass through the world point.
+        tt = (world[0] - origin) / dirs[0]
+        assert np.allclose(tt, tt[0], atol=1e-9)
+
+
+class TestTranslationalFlow:
+    def test_forward_motion_points_away_from_foe(self):
+        # FOE at image centre for pure forward motion; vectors expand.
+        x = np.array([50.0, -50.0, 0.0])
+        y = np.array([20.0, 20.0, -30.0])
+        z = np.full(3, 20.0)
+        vx, vy = translational_flow(x, y, z, (0.0, 0.0, 1.0), 200.0)
+        # Radial expansion: v parallel to (x, y) with positive dot product.
+        dots = vx * x + vy * y
+        assert (dots > 0).all()
+
+    def test_first_order_matches_paper_eq3(self):
+        x, y = np.array([40.0]), np.array([25.0])
+        z = np.array([100.0])
+        delta = (0.5, -0.2, 1.0)
+        vx, vy = translational_flow(x, y, z, delta, 200.0, exact=False)
+        f = 200.0
+        assert vx[0] == pytest.approx((delta[2] / z[0]) * (x[0] - delta[0] * f / delta[2]))
+        assert vy[0] == pytest.approx((delta[2] / z[0]) * (y[0] - delta[1] * f / delta[2]))
+
+    def test_exact_approaches_first_order_for_small_motion(self):
+        x, y = np.array([40.0]), np.array([25.0])
+        z = np.array([500.0])
+        delta = (0.01, 0.0, 0.05)
+        v_exact = translational_flow(x, y, z, delta, 200.0, exact=True)
+        v_lin = translational_flow(x, y, z, delta, 200.0, exact=False)
+        assert v_exact[0][0] == pytest.approx(v_lin[0][0], rel=1e-2)
+        assert v_exact[1][0] == pytest.approx(v_lin[1][0], rel=1e-2)
+
+    def test_magnitude_inversely_proportional_to_depth(self):
+        x, y = np.array([30.0, 30.0]), np.array([10.0, 10.0])
+        z = np.array([10.0, 40.0])
+        vx, vy = translational_flow(x, y, z, (0.0, 0.0, 0.5), 200.0, exact=False)
+        m = np.hypot(vx, vy)
+        assert m[0] == pytest.approx(4 * m[1], rel=1e-9)
+
+    def test_lateral_translation_uniform_direction(self):
+        x = np.array([-60.0, 0.0, 60.0])
+        y = np.array([10.0, 10.0, 10.0])
+        z = np.full(3, 25.0)
+        vx, vy = translational_flow(x, y, z, (1.0, 0.0, 0.0), 200.0, exact=False)
+        # Camera moves right -> world content appears to move left.
+        assert (vx < 0).all()
+        np.testing.assert_allclose(vy, 0.0, atol=1e-12)
+
+
+class TestRotationalFlow:
+    def test_yaw_produces_horizontal_shift(self):
+        vx, vy = rotational_flow(np.array([0.0]), np.array([0.0]), (0.0, 0.01, 0.0), 200.0)
+        assert vx[0] == pytest.approx(-0.01 * 200.0)
+        assert vy[0] == pytest.approx(0.0)
+
+    def test_pitch_produces_vertical_shift(self):
+        vx, vy = rotational_flow(np.array([0.0]), np.array([0.0]), (0.01, 0.0, 0.0), 200.0)
+        assert vy[0] == pytest.approx(0.01 * 200.0)
+        assert vx[0] == pytest.approx(0.0)
+
+    def test_roll_produces_tangential_field(self):
+        vx, vy = rotational_flow(np.array([0.0, 10.0]), np.array([10.0, 0.0]), (0.0, 0.0, 0.02), 200.0)
+        assert vx[0] == pytest.approx(0.02 * 10.0)
+        assert vy[1] == pytest.approx(-0.02 * 10.0)
+
+    def test_matches_projected_rotation(self):
+        """First-order field must match the true projection difference."""
+        f = 200.0
+        cam0 = make_camera(yaw=0.0, pitch=0.0)
+        dyaw, dpitch = 0.004, -0.002
+        cam1 = make_camera(yaw=dyaw, pitch=dpitch)
+        world = np.array([[3.0, -2.0, 40.0], [-5.0, 0.0, 60.0], [8.0, -4.0, 100.0]])
+        x0, y0, _ = cam0.project(world)
+        x1, y1, _ = cam1.project(world)
+        vx_true, vy_true = x1 - x0, y1 - y0
+        vx, vy = rotational_flow(x1, y1, (dpitch, dyaw, 0.0), f)
+        np.testing.assert_allclose(vx, vx_true, atol=0.02)
+        np.testing.assert_allclose(vy, vy_true, atol=0.02)
+
+
+class TestFOE:
+    def test_foe_position(self):
+        fx, fy = foe_position((0.5, -0.25, 2.0), 200.0)
+        assert fx == pytest.approx(50.0)
+        assert fy == pytest.approx(-25.0)
+
+    def test_foe_requires_forward_motion(self):
+        with pytest.raises(ValueError):
+            foe_position((1.0, 0.0, 0.0), 200.0)
+
+    def test_estimate_foe_recovers_truth(self):
+        rng = np.random.default_rng(0)
+        foe_true = (30.0, -10.0)
+        x = rng.uniform(-150, 150, 200)
+        y = rng.uniform(-90, 90, 200)
+        z = rng.uniform(10, 80, 200)
+        delta = (30.0 * 2.0 / 200.0, -10.0 * 2.0 / 200.0, 2.0)
+        vx, vy = translational_flow(x, y, z, delta, 200.0, exact=False)
+        est = estimate_foe(x, y, vx, vy)
+        assert est is not None
+        assert est[0] == pytest.approx(foe_true[0], abs=1.0)
+        assert est[1] == pytest.approx(foe_true[1], abs=1.0)
+
+    def test_estimate_foe_robust_to_noise(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-150, 150, 300)
+        y = rng.uniform(-90, 90, 300)
+        z = rng.uniform(10, 50, 300)
+        vx, vy = translational_flow(x, y, z, (0.0, 0.0, 1.5), 200.0, exact=False)
+        vx = vx + rng.normal(0, 0.2, 300)
+        vy = vy + rng.normal(0, 0.2, 300)
+        est = estimate_foe(x, y, vx, vy)
+        assert est is not None
+        assert abs(est[0]) < 6 and abs(est[1]) < 6
+
+    def test_estimate_foe_degenerate_parallel(self):
+        # All vectors parallel: FOE direction is ambiguous.
+        x = np.linspace(-50, 50, 10)
+        y = np.zeros(10)
+        vx = np.full(10, 3.0)
+        vy = np.zeros(10)
+        assert estimate_foe(x, y, vx, vy) is None
+
+    def test_estimate_foe_too_few_vectors(self):
+        assert estimate_foe(np.array([1.0]), np.array([1.0]), np.array([2.0]), np.array([0.0])) is None
+
+    def test_consistency_zero_for_static_field(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-100, 100, 50)
+        y = rng.uniform(-60, 60, 50)
+        z = rng.uniform(5, 50, 50)
+        vx, vy = translational_flow(x, y, z, (0.0, 0.0, 1.0), 200.0, exact=False)
+        d = foe_consistency(x, y, vx, vy, (0.0, 0.0))
+        assert d.max() < 1e-6
+
+    def test_consistency_large_for_moving_object(self):
+        # A horizontally moving object far from the FOE axis.
+        x, y = np.array([80.0]), np.array([5.0])
+        vx, vy = np.array([-6.0]), np.array([0.0])
+        d = foe_consistency(x, y, vx, vy, (0.0, 0.0))
+        assert d[0] > 3.0
+
+    def test_consistency_ignores_tiny_vectors(self):
+        d = foe_consistency(np.array([50.0]), np.array([50.0]), np.array([0.01]), np.array([0.0]), (0.0, 0.0))
+        assert d[0] == 0.0
+
+
+class TestNormalizedMagnitude:
+    def test_observation2_same_height_same_value(self):
+        """Observation 2: same camera-frame height => same normalised magnitude."""
+        f, h, dz = 200.0, 1.5, 0.8
+        rng = np.random.default_rng(3)
+        # Ground points at various depths.
+        z = rng.uniform(8, 60, 100)
+        x_img = rng.uniform(-140, 140, 100)
+        y_img = f * h / z
+        vx, vy = translational_flow(x_img, y_img, z, (0.0, 0.0, dz), f, exact=False)
+        norm = normalized_magnitude(vx, vy, x_img, y_img)
+        np.testing.assert_allclose(norm, dz / (f * h), rtol=1e-6)
+
+    def test_taller_points_larger_value(self):
+        f, dz = 200.0, 0.8
+        z = np.full(2, 20.0)
+        heights = np.array([1.5, 0.5])  # ground vs a point 1 m above ground
+        y_img = f * heights / z
+        x_img = np.array([30.0, 30.0])
+        vx, vy = translational_flow(x_img, y_img, z, (0.0, 0.0, dz), f, exact=False)
+        norm = normalized_magnitude(vx, vy, x_img, y_img)
+        assert norm[1] > norm[0]
+
+    def test_above_horizon_negative(self):
+        f, dz = 200.0, 0.8
+        x_img, y_img = np.array([20.0]), np.array([-30.0])
+        vx, vy = translational_flow(x_img, y_img, np.array([40.0]), (0.0, 0.0, dz), f, exact=False)
+        norm = normalized_magnitude(vx, vy, x_img, y_img)
+        assert norm[0] < 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(5, 100),
+        st.floats(0.1, 2.0),
+        st.floats(0.5, 3.0),
+    )
+    def test_invariant_property(self, depth, dz, height):
+        f = 200.0
+        y_img = f * height / depth
+        for x_img in (-80.0, 0.0, 120.0):
+            vx, vy = translational_flow(
+                np.array([x_img]), np.array([y_img]), np.array([depth]), (0.0, 0.0, dz), f, exact=False
+            )
+            norm = normalized_magnitude(vx, vy, np.array([x_img]), np.array([y_img]))
+            assert norm[0] == pytest.approx(dz / (f * height), rel=1e-6)
+
+
+class TestRotationConstraint:
+    def test_translation_cancels(self):
+        """Forward translation contributes nothing to y*vx - x*vy."""
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-100, 100, 50)
+        y = rng.uniform(-60, 60, 50)
+        z = rng.uniform(5, 50, 50)
+        vx, vy = translational_flow(x, y, z, (0.0, 0.0, 1.2), 200.0, exact=False)
+        rhs = rotation_constraint_rhs(x, y, vx, vy)
+        np.testing.assert_allclose(rhs, 0.0, atol=1e-9)
+
+    def test_recovers_rotation_exactly(self):
+        rng = np.random.default_rng(5)
+        f = 200.0
+        x = rng.uniform(-100, 100, 80)
+        y = rng.uniform(-60, 60, 80)
+        z = rng.uniform(5, 50, 80)
+        dphi = (0.003, -0.006, 0.0)
+        vx, vy = combined_flow(x, y, z, (0.0, 0.0, 1.0), dphi, f)
+        a = rotation_constraint_coefficients(x, y, f)
+        b = rotation_constraint_rhs(x, y, vx, vy)
+        sol, *_ = np.linalg.lstsq(a, b, rcond=None)
+        # Exact translational part uses the exact (not first-order) model, so
+        # allow a small tolerance.
+        assert sol[0] == pytest.approx(dphi[0], abs=5e-4)
+        assert sol[1] == pytest.approx(dphi[1], abs=5e-4)

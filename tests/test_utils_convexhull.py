@@ -1,0 +1,172 @@
+"""Tests for convex hulls and polygon utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    convex_hull,
+    point_in_polygon,
+    points_in_polygon,
+    polygon_area,
+    rasterize_polygon,
+)
+
+
+class TestConvexHull:
+    def test_square(self):
+        pts = np.array([[0, 0], [1, 0], [1, 1], [0, 1], [0.5, 0.5]])
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert {tuple(p) for p in hull} == {(0, 0), (1, 0), (1, 1), (0, 1)}
+
+    def test_interior_points_removed(self):
+        rng = np.random.default_rng(0)
+        interior = rng.uniform(0.2, 0.8, size=(50, 2))
+        corners = np.array([[0, 0], [1, 0], [1, 1], [0, 1]])
+        hull = convex_hull(np.vstack([interior, corners]))
+        assert {tuple(p) for p in hull} == {tuple(p) for p in corners}
+
+    def test_single_point(self):
+        hull = convex_hull(np.array([[3.0, 4.0]]))
+        assert hull.shape == (1, 2)
+
+    def test_two_points(self):
+        hull = convex_hull(np.array([[0.0, 0.0], [2.0, 2.0]]))
+        assert hull.shape == (2, 2)
+
+    def test_collinear(self):
+        pts = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        hull = convex_hull(pts)
+        assert len(hull) == 2
+        assert {tuple(p) for p in hull} == {(0.0, 0.0), (3.0, 3.0)}
+
+    def test_duplicates_ignored(self):
+        pts = np.array([[0, 0], [0, 0], [1, 0], [1, 1], [1, 1], [0, 1]])
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            convex_hull(np.zeros((4, 3)))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    def test_all_points_inside_hull(self, pts):
+        pts = np.array(pts, dtype=float)
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return  # degenerate input
+        inside = points_in_polygon(pts, hull)
+        assert inside.all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-20, 20), st.integers(-20, 20)),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    def test_hull_is_convex(self, pts):
+        hull = convex_hull(np.array(pts, dtype=float))
+        n = len(hull)
+        if n < 3:
+            return
+        # Every consecutive turn has the same orientation sign.
+        crosses = []
+        for i in range(n):
+            o, a, b = hull[i], hull[(i + 1) % n], hull[(i + 2) % n]
+            crosses.append((a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]))
+        crosses = np.array(crosses)
+        assert (crosses > -1e-9).all() or (crosses < 1e-9).all()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(-10, 10), st.integers(-10, 10)),
+            min_size=3,
+            max_size=25,
+        )
+    )
+    def test_hull_idempotent(self, pts):
+        hull1 = convex_hull(np.array(pts, dtype=float))
+        hull2 = convex_hull(hull1)
+        assert {tuple(p) for p in hull1} == {tuple(p) for p in hull2}
+
+
+class TestPolygonArea:
+    def test_unit_square(self):
+        assert polygon_area(np.array([[0, 0], [1, 0], [1, 1], [0, 1]])) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        assert polygon_area(np.array([[0, 0], [4, 0], [0, 3]])) == pytest.approx(6.0)
+
+    def test_degenerate(self):
+        assert polygon_area(np.array([[0, 0], [1, 1]])) == 0.0
+
+    def test_orientation_invariant(self):
+        sq = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert polygon_area(sq) == pytest.approx(polygon_area(sq[::-1]))
+
+
+class TestPointInPolygon:
+    SQUARE = np.array([[0, 0], [4, 0], [4, 4], [0, 4]], dtype=float)
+
+    def test_inside(self):
+        assert point_in_polygon(np.array([2.0, 2.0]), self.SQUARE)
+
+    def test_outside(self):
+        assert not point_in_polygon(np.array([5.0, 2.0]), self.SQUARE)
+
+    def test_vertex_counts_inside(self):
+        assert point_in_polygon(np.array([0.0, 0.0]), self.SQUARE)
+
+    def test_edge_counts_inside(self):
+        assert point_in_polygon(np.array([2.0, 0.0]), self.SQUARE)
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        pts = rng.uniform(-1, 5, size=(200, 2))
+        vec = points_in_polygon(pts, self.SQUARE)
+        for p, v in zip(pts, vec):
+            assert point_in_polygon(p, self.SQUARE) == v
+
+    def test_concave_polygon(self):
+        # L-shape: the notch must be outside.
+        poly = np.array([[0, 0], [4, 0], [4, 2], [2, 2], [2, 4], [0, 4]], dtype=float)
+        assert point_in_polygon(np.array([1.0, 3.0]), poly)
+        assert not point_in_polygon(np.array([3.0, 3.0]), poly)
+
+    def test_empty_polygon(self):
+        assert not points_in_polygon(np.array([[0.0, 0.0]]), np.zeros((0, 2))).any()
+
+
+class TestRasterizePolygon:
+    def test_full_grid(self):
+        poly = np.array([[-1, -1], [10, -1], [10, 10], [-1, 10]], dtype=float)
+        mask = rasterize_polygon(poly, (4, 5))
+        assert mask.all()
+
+    def test_half_plane(self):
+        # Triangle covering the top-left corner cells.
+        poly = np.array([[-0.5, -0.5], [3.5, -0.5], [-0.5, 3.5]], dtype=float)
+        mask = rasterize_polygon(poly, (4, 4))
+        assert mask[0, 0]
+        assert not mask[3, 3]
+
+    def test_area_consistency(self):
+        poly = np.array([[1, 1], [8, 1], [8, 6], [1, 6]], dtype=float)
+        mask = rasterize_polygon(poly, (10, 10))
+        # Cells with centres in [1,8]x[1,6] -> 8 columns x 6 rows.
+        assert mask.sum() == 8 * 6

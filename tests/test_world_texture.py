@@ -1,0 +1,119 @@
+"""Tests for procedural textures and the constrained FOE estimator."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.foe import estimate_foe_x
+from repro.world.texture import ground_texture, object_texture, sky_texture
+
+
+class TestGroundTexture:
+    def test_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-20, 20, 1000)
+        z = rng.uniform(0, 200, 1000)
+        g = ground_texture(x, z, seed=3)
+        assert (g >= 0).all() and (g <= 255).all()
+
+    def test_world_anchored(self):
+        g1 = ground_texture(np.array([3.7]), np.array([42.1]), seed=3)
+        g2 = ground_texture(np.array([3.7]), np.array([42.1]), seed=3)
+        assert g1 == g2
+
+    def test_lane_markings_bright(self):
+        # On a dash (z mod 6 < 3) at the lane line x=1.75.
+        lane = ground_texture(np.array([1.75]), np.array([1.0]), seed=3)
+        road = ground_texture(np.array([0.0]), np.array([1.0]), seed=3)
+        assert lane[0] == 225.0
+        assert road[0] < lane[0]
+
+    def test_dashes_have_gaps(self):
+        on_dash = ground_texture(np.array([1.75]), np.array([1.0]), seed=3)
+        in_gap = ground_texture(np.array([1.75]), np.array([4.0]), seed=3)
+        assert in_gap[0] < on_dash[0]
+
+    def test_weather_reduces_contrast(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-5, 5, 2000)
+        z = rng.uniform(0, 100, 2000)
+        clear = ground_texture(x, z, seed=3, weather_contrast=1.0)
+        rain = ground_texture(x, z, seed=3, weather_contrast=0.6)
+        assert rain.std() < clear.std()
+
+
+class TestObjectTexture:
+    @pytest.mark.parametrize("kind", ["car", "pedestrian", "building", "pole"])
+    def test_range(self, kind):
+        rng = np.random.default_rng(0)
+        u = rng.uniform(0, 10, 500)
+        h = rng.uniform(0, 8, 500)
+        t = object_texture(u, h, kind=kind, seed=5)
+        assert (t >= 0).all() and (t <= 255).all()
+
+    def test_building_windows_dark(self):
+        # Window interior vs wall between windows, same row.
+        win = object_texture(np.array([1.0]), np.array([1.5]), kind="building", seed=5)
+        wall = object_texture(np.array([0.2]), np.array([1.5]), kind="building", seed=5)
+        assert win[0] < wall[0]
+
+    def test_seeds_differ(self):
+        u = np.linspace(0, 2, 50)
+        h = np.full(50, 1.0)
+        a = object_texture(u, h, kind="car", seed=1)
+        b = object_texture(u, h, kind="car", seed=2)
+        assert not np.allclose(a, b)
+
+    def test_unknown_kind_defaults(self):
+        t = object_texture(np.array([0.5]), np.array([0.5]), kind="spaceship", seed=1)
+        assert 0 <= t[0] <= 255
+
+
+class TestSkyTexture:
+    def test_brighter_at_horizon_band(self):
+        high = sky_texture(np.array([0.0]), np.array([0.7]), seed=2)
+        low = sky_texture(np.array([0.0]), np.array([0.05]), seed=2)
+        assert high[0] > low[0]
+
+    def test_direction_only(self):
+        a = sky_texture(np.array([0.3]), np.array([0.2]), seed=2)
+        b = sky_texture(np.array([0.3]), np.array([0.2]), seed=2)
+        assert a == b
+
+
+class TestEstimateFoeX:
+    def make_field(self, foe_x, n=60, seed=0):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(-150, 150, n)
+        y = rng.uniform(10, 90, n)
+        # Radial field from (foe_x, 0).
+        scale = rng.uniform(0.05, 0.15, n)
+        vx = (x - foe_x) * scale
+        vy = y * scale
+        return x, y, vx, vy
+
+    def test_recovers_offset(self):
+        x, y, vx, vy = self.make_field(-12.0)
+        est = estimate_foe_x(x, y, vx, vy)
+        assert est == pytest.approx(-12.0, abs=0.5)
+
+    def test_robust_to_outliers(self):
+        x, y, vx, vy = self.make_field(8.0, n=80)
+        vx[:15] += 30.0  # moving-object contamination
+        est = estimate_foe_x(x, y, vx, vy)
+        assert est == pytest.approx(8.0, abs=2.0)
+
+    def test_none_for_horizontal_field(self):
+        x = np.linspace(-50, 50, 20)
+        y = np.full(20, 30.0)
+        vx = np.full(20, 5.0)
+        vy = np.zeros(20)
+        assert estimate_foe_x(x, y, vx, vy) is None
+
+    def test_none_for_too_few(self):
+        assert estimate_foe_x(np.array([1.0]), np.array([1.0]), np.array([1.0]), np.array([1.0])) is None
+
+    def test_custom_row(self):
+        x, y, vx, vy = self.make_field(0.0)
+        # Shift the whole geometry down by 10 and ask for the FOE on row 10.
+        est = estimate_foe_x(x, y + 10, vx, vy, foe_y=10.0)
+        assert est == pytest.approx(0.0, abs=0.5)

@@ -1,0 +1,111 @@
+"""Tests for ego trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.world import EgoTrajectory, StopSegment, StraightSegment, TurnSegment
+from repro.world.trajectory import Segment
+
+
+class TestSegments:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Segment(duration=0.0, speed_start=1.0, speed_end=1.0)
+        with pytest.raises(ValueError):
+            Segment(duration=1.0, speed_start=-1.0, speed_end=1.0)
+
+    def test_speed_ramp(self):
+        seg = Segment(duration=2.0, speed_start=0.0, speed_end=10.0)
+        assert seg.speed_at(0.0) == 0.0
+        assert seg.speed_at(1.0) == 5.0
+        assert seg.speed_at(2.0) == 10.0
+        assert seg.speed_at(5.0) == 10.0  # clamped
+
+    def test_constructors(self):
+        assert StraightSegment(2.0, 5.0).yaw_rate == 0.0
+        assert TurnSegment(1.0, 5.0, 0.3).yaw_rate == 0.3
+        assert StopSegment(1.0).speed_start == 0.0
+
+
+class TestEgoTrajectory:
+    def test_needs_segments(self):
+        with pytest.raises(ValueError):
+            EgoTrajectory([])
+
+    def test_straight_distance(self):
+        traj = EgoTrajectory([StraightSegment(4.0, 10.0)])
+        pose = traj.pose_at(4.0)
+        assert pose.position[2] == pytest.approx(40.0, rel=1e-3)
+        assert pose.position[0] == pytest.approx(0.0, abs=1e-6)
+        assert pose.yaw == 0.0
+
+    def test_camera_height(self):
+        traj = EgoTrajectory([StraightSegment(1.0, 5.0)], camera_height=1.7)
+        assert traj.pose_at(0.5).position[1] == pytest.approx(-1.7)
+
+    def test_turn_changes_heading(self):
+        traj = EgoTrajectory([TurnSegment(2.0, 5.0, 0.25)])
+        assert traj.yaw_at(2.0) == pytest.approx(0.5, rel=1e-3)
+        # Turning right (positive yaw) moves the agent toward +X.
+        assert traj.pose_at(2.0).position[0] > 0
+
+    def test_stop_freezes_position(self):
+        traj = EgoTrajectory([StraightSegment(1.0, 10.0), StopSegment(2.0), StraightSegment(1.0, 10.0)])
+        p1 = traj.pose_at(1.2).position
+        p2 = traj.pose_at(2.8).position
+        np.testing.assert_allclose(p1, p2, atol=1e-6)
+
+    def test_motion_states(self):
+        traj = EgoTrajectory([StraightSegment(1.0, 10.0), StopSegment(1.0), TurnSegment(1.0, 8.0, 0.3)])
+        assert traj.motion_state_at(0.5) == "straight"
+        assert traj.motion_state_at(1.5) == "static"
+        assert traj.motion_state_at(2.5) == "turning"
+
+    def test_delta_between_straight(self):
+        traj = EgoTrajectory([StraightSegment(2.0, 12.0)])
+        delta, dphi = traj.delta_between(1.0, 1.1)
+        assert delta[2] == pytest.approx(1.2, rel=1e-3)
+        assert abs(delta[0]) < 1e-6
+        assert dphi[1] == pytest.approx(0.0)
+
+    def test_delta_between_turn(self):
+        traj = EgoTrajectory([TurnSegment(2.0, 10.0, 0.2)])
+        delta, dphi = traj.delta_between(1.0, 1.1)
+        assert dphi[1] == pytest.approx(0.02, rel=1e-2)
+        # Forward component dominates for small dt.
+        assert delta[2] > 0.9
+
+    def test_pitch_oscillation(self):
+        traj = EgoTrajectory([StraightSegment(2.0, 10.0)], pitch_amplitude=0.01, pitch_frequency=1.0)
+        pitches = [traj.pitch_at(t) for t in np.linspace(0, 2, 50)]
+        assert max(pitches) > 0.005
+        assert min(pitches) < -0.005
+
+    def test_pitch_zero_when_stopped(self):
+        traj = EgoTrajectory([StopSegment(2.0)], pitch_amplitude=0.01)
+        assert traj.pitch_at(1.0) == 0.0
+        assert traj.pitch_rate_at(1.0) == 0.0
+
+    def test_imu_samples_match_trajectory(self):
+        traj = EgoTrajectory([TurnSegment(1.0, 10.0, 0.15)], pitch_amplitude=0.005)
+        times, pitch_rates, yaw_rates = traj.imu_samples()
+        assert len(times) == len(pitch_rates) == len(yaw_rates)
+        assert times[1] - times[0] == pytest.approx(0.01)  # 100 Hz
+        np.testing.assert_allclose(yaw_rates, 0.15, atol=1e-9)
+
+    def test_imu_noise(self):
+        traj = EgoTrajectory([StraightSegment(1.0, 10.0)])
+        rng = np.random.default_rng(0)
+        _, _, clean = traj.imu_samples()
+        _, _, noisy = traj.imu_samples(rng=rng, gyro_noise=0.01)
+        assert not np.allclose(clean, noisy)
+
+    def test_duration_sum(self):
+        traj = EgoTrajectory([StraightSegment(1.5, 5.0), StopSegment(0.5)])
+        assert traj.duration == pytest.approx(2.0)
+
+    def test_pose_clamped_beyond_duration(self):
+        traj = EgoTrajectory([StraightSegment(1.0, 10.0)])
+        p_end = traj.pose_at(1.0).position
+        p_over = traj.pose_at(5.0).position
+        np.testing.assert_allclose(p_end, p_over, atol=0.15)
