@@ -1,6 +1,5 @@
 """Fig 11 — effectiveness of Optimal QP Assignment (adaptive delta)."""
 
-import numpy as np
 from conftest import CONFIGS
 
 from repro.experiments import print_table, run_fig11

@@ -14,6 +14,7 @@ The package is organised as:
   extraction, adaptive encoding, offline tracking).
 - :mod:`repro.baselines` — O3, EAAR and DDS comparison schemes.
 - :mod:`repro.experiments` — one entry point per paper table/figure.
+- :mod:`repro.obs` — frame-level tracing/metrics, JSONL export, aggregation.
 """
 
 __version__ = "1.0.0"

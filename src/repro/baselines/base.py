@@ -22,6 +22,7 @@ import numpy as np
 from repro.edge.detector import Detection
 from repro.edge.server import EdgeServer
 from repro.network.trace import BandwidthTrace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.world.datasets import Clip
 
 __all__ = ["AnalyticsScheme", "FrameResult", "LatencyModel", "PendingResults", "SchemeRun"]
@@ -123,6 +124,36 @@ class AnalyticsScheme(abc.ABC):
 
     #: Display name used in experiment tables.
     name: str = "base"
+
+    #: Observability hook (see :mod:`repro.obs`); the shared no-op tracer
+    #: unless :meth:`use_tracer` installs a live one, so untraced runs pay
+    #: nothing.
+    tracer: Tracer | NullTracer = NULL_TRACER
+
+    def use_tracer(self, tracer: Tracer | NullTracer) -> "AnalyticsScheme":
+        """Install a tracer on this scheme instance; returns ``self``."""
+        self.tracer = tracer
+        return self
+
+    def _finish_frame(self, run: SchemeRun, result: FrameResult) -> None:
+        """Append ``result`` to ``run`` and mirror it into the trace.
+
+        Every scheme ends its per-frame work here, so any scheme run can
+        emit a structured per-frame trace: the result's bytes, drop flag,
+        response time and source are recorded as counters — into the active
+        frame record when the scheme wraps its loop in ``tracer.frame``
+        (DiVE does), or into a fresh one keyed by the frame index otherwise.
+        """
+        run.frames.append(result)
+        tr = self.tracer
+        if not tr.enabled:
+            return
+        record = tr.frame_record(result.index)
+        record.counters["bytes_sent"] = float(result.bytes_sent)
+        record.counters["dropped"] = 1.0 if result.dropped else 0.0
+        record.counters["source_edge"] = 1.0 if result.source == "edge" else 0.0
+        if np.isfinite(result.response_time):
+            record.counters["response_time"] = float(result.response_time)
 
     @abc.abstractmethod
     def run(self, clip: Clip, trace: BandwidthTrace, server: EdgeServer) -> SchemeRun:

@@ -120,7 +120,8 @@ class DDSScheme(AnalyticsScheme):
                 force_intra = True
                 needs_server_reset = True
                 detections = tracker.track(motion.mv) if motion is not None else tracker.detections
-                run.frames.append(
+                self._finish_frame(
+                    run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,
@@ -143,7 +144,8 @@ class DDSScheme(AnalyticsScheme):
             if not region_mask.any():
                 # Nothing to re-upload; the low-quality result is final.
                 tracker.update(low_result.detections)
-                run.frames.append(
+                self._finish_frame(
+                    run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,
@@ -181,7 +183,8 @@ class DDSScheme(AnalyticsScheme):
             if tx2.dropped:
                 # Second pass lost: fall back to the low-quality result.
                 tracker.update(low_result.detections)
-                run.frames.append(
+                self._finish_frame(
+                    run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,
@@ -196,7 +199,8 @@ class DDSScheme(AnalyticsScheme):
             final = server.process_image(updated, record, arrival_time=tx2.finish_time)
             estimator.record_ack(tx2.start_time, tx2.finish_time, region_bytes)
             tracker.update(final.detections)
-            run.frames.append(
+            self._finish_frame(
+                run,
                 FrameResult(
                     index=i,
                     capture_time=t_cap,

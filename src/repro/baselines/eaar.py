@@ -98,7 +98,8 @@ class EAARScheme(AnalyticsScheme):
                 tx = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
                 if tx is None or tx.dropped:
                     detections = tracker.track(motion.mv) if motion is not None else tracker.detections
-                    run.frames.append(
+                    self._finish_frame(
+                        run,
                         FrameResult(
                             index=i,
                             capture_time=t_cap,
@@ -112,7 +113,8 @@ class EAARScheme(AnalyticsScheme):
                 server.reset()
                 result = server.process(encoded, record, arrival_time=tx.finish_time)
                 pending.add(result.result_time, i, result.detections)
-                run.frames.append(
+                self._finish_frame(
+                    run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,
@@ -127,7 +129,8 @@ class EAARScheme(AnalyticsScheme):
                     detections = tracker.track(motion.mv)
                 else:
                     detections = tracker.detections
-                run.frames.append(
+                self._finish_frame(
+                    run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,

@@ -94,7 +94,8 @@ class O3Scheme(AnalyticsScheme):
                     if tx is not None:
                         estimator.record_outage(tx.start_time + cfg.hol_timeout)
                     detections = tracker.track(motion.mv) if motion is not None else tracker.detections
-                    run.frames.append(
+                    self._finish_frame(
+                        run,
                         FrameResult(
                             index=i,
                             capture_time=t_cap,
@@ -109,7 +110,8 @@ class O3Scheme(AnalyticsScheme):
                 result = server.process(encoded, record, arrival_time=tx.finish_time)
                 estimator.record_ack(tx.start_time, tx.finish_time, encoded.size_bytes)
                 pending.add(result.result_time, i, result.detections)
-                run.frames.append(
+                self._finish_frame(
+                    run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,
@@ -126,7 +128,8 @@ class O3Scheme(AnalyticsScheme):
                 else:
                     detections = tracker.detections
                     source = "cached"
-                run.frames.append(
+                self._finish_frame(
+                    run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,

@@ -33,6 +33,7 @@ from repro.experiments import (
     run_scheme,
     run_table1,
     scaled_bandwidth,
+    tracer_for,
 )
 from repro.experiments.fig07 import collect_fields
 
@@ -202,6 +203,65 @@ def _cmd_analyze(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_trace(args: argparse.Namespace) -> str:
+    """Traced scheme run: JSONL export + per-stage latency/bits summary."""
+    from repro.baselines import DDSScheme, EAARScheme, O3Scheme
+    from repro.core import DiVEScheme
+    from repro.network import constant_trace
+    from repro.obs import counter_rows, span_rows, summarize, write_jsonl
+    from repro.world import nuscenes_like, robotcar_like
+
+    schemes = {"dive": DiVEScheme, "dds": DDSScheme, "eaar": EAARScheme, "o3": O3Scheme}
+    maker = {"nuscenes": nuscenes_like, "robotcar": robotcar_like}[args.dataset]
+    config = ExperimentConfig(
+        n_clips=args.clips,
+        n_frames=args.frames,
+        detector_seed=args.detector_seed,
+        tracing=True,
+    )
+    tracer = tracer_for(config)
+    tracer.meta.update(
+        {
+            "scheme": args.scheme,
+            "dataset": args.dataset,
+            "bandwidth_mbps": args.bandwidth,
+            "n_clips": config.n_clips,
+            "n_frames": config.n_frames,
+            "seed": args.seed,
+        }
+    )
+    for clip_seed in range(args.seed, args.seed + config.n_clips):
+        clip = maker(clip_seed, n_frames=config.n_frames)
+        trace = constant_trace(scaled_bandwidth(args.bandwidth, clip))
+        run_scheme(
+            schemes[args.scheme](),
+            clip,
+            trace,
+            detector_seed=config.detector_seed,
+            ground_truth=ground_truth_for(clip, detector_seed=config.detector_seed),
+            tracer=tracer,
+        )
+    path = write_jsonl(args.output, tracer)
+    summary = summarize(tracer.frames)
+    lines = [
+        f"wrote {len(tracer.frames)} frame records to {path}",
+        "",
+        format_table(
+            ["stage", "frames", "mean ms", "p50 ms", "p95 ms", "total ms"],
+            span_rows(summary),
+            title=f"per-stage wall-clock latency — {args.scheme} on {args.dataset}"
+            f" @ {args.bandwidth:g} Mbps",
+        ),
+        "",
+        format_table(
+            ["counter", "frames", "mean", "p50", "p95", "total"],
+            counter_rows(summary),
+            title="per-frame counters (bits, QP, bandwidth, outages)",
+        ),
+    ]
+    return "\n".join(lines)
+
+
 def _cmd_scalability(args: argparse.Namespace) -> str:
     rows = run_scalability(_config(args))
     return format_table(
@@ -214,6 +274,7 @@ def _cmd_scalability(args: argparse.Namespace) -> str:
 _COMMANDS: dict[str, tuple[Callable[[argparse.Namespace], str], str]] = {
     "demo": (_cmd_demo, "Stream one synthetic clip through DiVE and print its metrics"),
     "analyze": (_cmd_analyze, "Foreground-extraction quality report + quick-look sparklines"),
+    "trace": (_cmd_trace, "Traced run: write a JSONL frame trace + per-stage latency/bits summary"),
     "table1": (_cmd_table1, "Table I — dataset summary"),
     "fig06": (_cmd_fig06, "Fig 6 — ego-motion detection from eta"),
     "fig07": (_cmd_fig07, "Fig 7 — R-sampling rotation estimation"),
@@ -241,10 +302,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--clips", type=int, default=2, help="clips per dataset")
         p.add_argument("--frames", type=int, default=24, help="frames per clip")
         p.add_argument("--detector-seed", type=int, default=7)
-        if name in ("demo", "analyze"):
+        if name in ("demo", "analyze", "trace"):
             p.add_argument("--dataset", choices=("nuscenes", "robotcar"), default="nuscenes")
             p.add_argument("--seed", type=int, default=0)
             p.add_argument("--bandwidth", type=float, default=2.0, help="paper-scale Mbps")
+        if name == "trace":
+            p.add_argument("--scheme", choices=("dive", "dds", "eaar", "o3"), default="dive")
+            p.add_argument("--output", default="trace.jsonl", help="JSONL trace output path")
         if name in ("fig16", "fig17"):
             p.set_defaults(figure=16 if name == "fig16" else 17)
     return parser

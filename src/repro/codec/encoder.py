@@ -25,6 +25,7 @@ import numpy as np
 from repro.codec.intra import intra_encode
 from repro.codec.motion import MotionEstimate, estimate_motion, motion_compensate
 from repro.codec.transform import dct_blocks, dequantize, idct_blocks, quantize, transform_cost_bits
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["EncodedFrame", "EncoderConfig", "VideoEncoder", "encode_region_update"]
 
@@ -115,10 +116,17 @@ class EncodedFrame:
 
 
 class VideoEncoder:
-    """Stateful encoder over a frame sequence."""
+    """Stateful encoder over a frame sequence.
 
-    def __init__(self, config: EncoderConfig | None = None):
+    ``tracer`` instruments the encode pipeline: span ``"encode"`` with
+    sub-spans ``me`` / ``mc`` / ``dct`` / ``rate_control`` / ``quant``,
+    plus per-frame bit and QP gauges.  The default no-op tracer costs
+    nothing.
+    """
+
+    def __init__(self, config: EncoderConfig | None = None, *, tracer: Tracer | NullTracer = NULL_TRACER):
         self.config = config or EncoderConfig()
+        self.tracer = tracer
         self._reference: np.ndarray | None = None
         self._frame_index = 0
 
@@ -169,59 +177,74 @@ class VideoEncoder:
         if offsets.shape != mb_shape:
             raise ValueError(f"qp_offsets shape {offsets.shape} != macroblock grid {mb_shape}")
 
-        intra = force_intra or self._reference is None or (self._frame_index % cfg.gop == 0)
-        if intra:
-            motion = None
-            prediction = np.full_like(frame, _INTRA_DC)
-            overhead = _FRAME_OVERHEAD_BITS
-        else:
-            if motion is None:
-                motion = estimate_motion(
-                    frame,
-                    self._reference,
-                    method=cfg.me_method,
-                    search_range=cfg.search_range,
-                    block=cfg.block,
-                    lambda_mv=cfg.lambda_mv,
-                )
-            elif motion.mv.shape[:2] != mb_shape:
-                raise ValueError(f"precomputed motion shape {motion.mv.shape[:2]} != grid {mb_shape}")
-            prediction = motion_compensate(self._reference, motion.mv, block=cfg.block)
-            overhead = _FRAME_OVERHEAD_BITS + _MV_BITS_PER_MB * mb_shape[0] * mb_shape[1]
+        tr = self.tracer
+        with tr.span("encode"):
+            intra = force_intra or self._reference is None or (self._frame_index % cfg.gop == 0)
+            if intra:
+                motion = None
+                prediction = np.full_like(frame, _INTRA_DC)
+                overhead = _FRAME_OVERHEAD_BITS
+            else:
+                if motion is None:
+                    motion = estimate_motion(
+                        frame,
+                        self._reference,
+                        method=cfg.me_method,
+                        search_range=cfg.search_range,
+                        block=cfg.block,
+                        lambda_mv=cfg.lambda_mv,
+                        tracer=tr,
+                    )
+                elif motion.mv.shape[:2] != mb_shape:
+                    raise ValueError(f"precomputed motion shape {motion.mv.shape[:2]} != grid {mb_shape}")
+                with tr.span("mc"):
+                    prediction = motion_compensate(self._reference, motion.mv, block=cfg.block)
+                overhead = _FRAME_OVERHEAD_BITS + _MV_BITS_PER_MB * mb_shape[0] * mb_shape[1]
 
-        residual = frame - prediction
-        coeffs = dct_blocks(residual)
+            residual = frame - prediction
+            with tr.span("dct"):
+                coeffs = dct_blocks(residual)
 
-        if base_qp is not None:
-            chosen_qp = float(np.clip(base_qp, 0, _MAX_QP))
-        else:
-            chosen_qp = self._rate_control(coeffs, offsets, float(target_bits) - overhead, cfg.block)
+            if base_qp is not None:
+                chosen_qp = float(np.clip(base_qp, 0, _MAX_QP))
+            else:
+                with tr.span("rate_control"):
+                    chosen_qp = self._rate_control(coeffs, offsets, float(target_bits) - overhead, cfg.block)
 
-        qp_map = np.clip(chosen_qp + offsets, 0, _MAX_QP)
-        intra_modes = None
-        if intra and cfg.intra_prediction:
-            # Neighbour-predicted intra coding.  Rate control above probed
-            # the flat-prediction residual — usually an over-estimate, but
-            # on noise-like content the mode syntax can tip the real cost
-            # slightly over budget, so bump the QP until it fits.
-            for _ in range(5):
-                levels, intra_modes, recon64, bits_per_mb = intra_encode(frame, qp_map, block=cfg.block)
-                if (
-                    target_bits is None
-                    or chosen_qp >= _MAX_QP
-                    or float(bits_per_mb.sum()) + overhead <= float(target_bits)
-                ):
-                    break
-                chosen_qp = min(chosen_qp + 1.0, _MAX_QP)
-                qp_map = np.clip(chosen_qp + offsets, 0, _MAX_QP)
-            reconstruction = recon64.astype(np.float32)
-        else:
-            levels = quantize(coeffs, qp_map, mb_size=cfg.block)
-            bits_per_mb = transform_cost_bits(levels, mb_size=cfg.block)
-            recon_residual = idct_blocks(dequantize(levels, qp_map, mb_size=cfg.block))
-            reconstruction = np.clip(prediction + recon_residual, 0.0, 255.0).astype(np.float32)
+            qp_map = np.clip(chosen_qp + offsets, 0, _MAX_QP)
+            intra_modes = None
+            with tr.span("quant"):
+                if intra and cfg.intra_prediction:
+                    # Neighbour-predicted intra coding.  Rate control above probed
+                    # the flat-prediction residual — usually an over-estimate, but
+                    # on noise-like content the mode syntax can tip the real cost
+                    # slightly over budget, so bump the QP until it fits.
+                    for _ in range(5):
+                        levels, intra_modes, recon64, bits_per_mb = intra_encode(frame, qp_map, block=cfg.block)
+                        if (
+                            target_bits is None
+                            or chosen_qp >= _MAX_QP
+                            or float(bits_per_mb.sum()) + overhead <= float(target_bits)
+                        ):
+                            break
+                        chosen_qp = min(chosen_qp + 1.0, _MAX_QP)
+                        qp_map = np.clip(chosen_qp + offsets, 0, _MAX_QP)
+                    reconstruction = recon64.astype(np.float32)
+                else:
+                    levels = quantize(coeffs, qp_map, mb_size=cfg.block)
+                    bits_per_mb = transform_cost_bits(levels, mb_size=cfg.block)
+                    recon_residual = idct_blocks(dequantize(levels, qp_map, mb_size=cfg.block))
+                    reconstruction = np.clip(prediction + recon_residual, 0.0, 255.0).astype(np.float32)
 
         total_bits = float(bits_per_mb.sum() + overhead)
+        if tr.enabled:
+            tr.gauge("bits", total_bits)
+            tr.gauge("frame_intra", 1.0 if intra else 0.0)
+            tr.gauge("base_qp", float(chosen_qp))
+            tr.gauge("qp_mean", float(qp_map.mean()))
+            tr.gauge("qp_max", float(qp_map.max()))
+            if target_bits is not None:
+                tr.gauge("target_bits", float(target_bits))
         encoded = EncodedFrame(
             index=self._frame_index,
             frame_type="I" if intra else "P",

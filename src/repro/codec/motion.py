@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.utils.integral import block_reduce_sum, shift_with_edge_pad
 
 __all__ = ["ME_METHODS", "MotionEstimate", "estimate_motion", "motion_compensate", "nonzero_mv_ratio"]
@@ -455,6 +456,7 @@ def estimate_motion(
     block: int = 16,
     lambda_mv: float = 4.0,
     subpel: bool = True,
+    tracer: Tracer | NullTracer = NULL_TRACER,
 ) -> MotionEstimate:
     """Estimate the per-macroblock motion field of ``current`` w.r.t. ``reference``.
 
@@ -475,6 +477,10 @@ def estimate_motion(
         codecs do with quarter-pel search.  DiVE's geometry (normalised
         magnitudes, FOE consistency) needs the precision; disable only for
         speed studies.
+    tracer:
+        Observability hook: the search is timed as span ``"me"`` and, when
+        tracing is enabled, the field's non-zero-MV ratio (the paper's eta)
+        and mean SAD are recorded as gauges.
     """
     if method not in ME_METHODS:
         raise ValueError(f"unknown motion estimation method {method!r}; choose from {ME_METHODS}")
@@ -485,27 +491,32 @@ def estimate_motion(
     if current.shape[0] % block or current.shape[1] % block:
         raise ValueError(f"frame shape {current.shape} not a multiple of block {block}")
     start = time.perf_counter()
-    if method in ("esa", "tesa"):
-        mv, sad = _exhaustive_search(
-            current,
-            reference,
-            search_range=search_range,
-            block=block,
-            lambda_mv=lambda_mv,
-            transformed=(method == "tesa"),
-            subpel=subpel,
-        )
-    else:
-        mv, sad = _pattern_search(
-            current,
-            reference,
-            method=method,
-            search_range=search_range,
-            block=block,
-            lambda_mv=lambda_mv,
-            subpel=subpel,
-        )
-    return MotionEstimate(mv=mv, sad=sad, method=method, elapsed=time.perf_counter() - start)
+    with tracer.span("me"):
+        if method in ("esa", "tesa"):
+            mv, sad = _exhaustive_search(
+                current,
+                reference,
+                search_range=search_range,
+                block=block,
+                lambda_mv=lambda_mv,
+                transformed=(method == "tesa"),
+                subpel=subpel,
+            )
+        else:
+            mv, sad = _pattern_search(
+                current,
+                reference,
+                method=method,
+                search_range=search_range,
+                block=block,
+                lambda_mv=lambda_mv,
+                subpel=subpel,
+            )
+    elapsed = time.perf_counter() - start
+    if tracer.enabled:
+        tracer.gauge("me_nonzero_ratio", nonzero_mv_ratio(mv))
+        tracer.gauge("me_sad_mean", float(sad.mean()))
+    return MotionEstimate(mv=mv, sad=sad, method=method, elapsed=elapsed)
 
 
 def interpolated_block(

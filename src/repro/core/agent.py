@@ -97,16 +97,18 @@ class DiVEScheme(AnalyticsScheme):
         cfg = self.config
         lat = cfg.latency
         fps = clip.fps
+        tr = self.tracer
         search_range = self.search_range_for(clip)
         encoder = VideoEncoder(
-            EncoderConfig(me_method=cfg.me_method, gop=cfg.gop, search_range=search_range)
+            EncoderConfig(me_method=cfg.me_method, gop=cfg.gop, search_range=search_range),
+            tracer=tr,
         )
         extractor = ForegroundExtractor(clip.intrinsics, cfg.foreground)
         judge = EgoMotionJudge(threshold=cfg.eta_threshold)
         tracker = MotionVectorTracker()
         calibrator = FOECalibrator(clip.intrinsics)
         estimator = BandwidthEstimator(window=cfg.estimator_window, initial_bps=trace.rate_at(0.0))
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout)
+        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=tr)
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
 
         force_intra = False
@@ -114,102 +116,158 @@ class DiVEScheme(AnalyticsScheme):
         rng = np.random.default_rng(12345)
 
         for i in range(clip.n_frames):
-            record = clip.frame(i)
-            t_cap = record.time
-            frame = record.image
-            compute = lat.encode
-
-            # --- Preprocessing + foreground extraction -------------------
-            motion = None
-            offsets = None
-            if encoder.reference is not None:
-                motion = estimate_motion(
-                    frame,
-                    encoder.reference,
-                    method=cfg.me_method,
-                    search_range=search_range,
+            with tr.frame(i):
+                force_intra, needs_server_reset = self._run_frame(
+                    clip, server, run, i,
+                    cfg=cfg, lat=lat, fps=fps, trace=trace, search_range=search_range,
+                    encoder=encoder, extractor=extractor, judge=judge, tracker=tracker,
+                    calibrator=calibrator, estimator=estimator, uplink=uplink, rng=rng,
+                    force_intra=force_intra, needs_server_reset=needs_server_reset,
                 )
-                compute += lat.motion_analysis + lat.foreground_extraction
-                moving = judge.update(motion.mv)
-                corrected = motion.mv.astype(float)
-                foe = calibrator.foe if cfg.calibrate_foe else (0.0, 0.0)
-                rot = None
-                if moving and cfg.enable_rotation_removal:
+        return run
+
+    def _run_frame(
+        self,
+        clip: Clip,
+        server: EdgeServer,
+        run: SchemeRun,
+        i: int,
+        *,
+        cfg: DiVEConfig,
+        lat: LatencyModel,
+        fps: float,
+        trace: BandwidthTrace,
+        search_range: int,
+        encoder: VideoEncoder,
+        extractor: ForegroundExtractor,
+        judge: EgoMotionJudge,
+        tracker: MotionVectorTracker,
+        calibrator: FOECalibrator,
+        estimator: BandwidthEstimator,
+        uplink: UplinkSimulator,
+        rng: np.random.Generator,
+        force_intra: bool,
+        needs_server_reset: bool,
+    ) -> tuple[bool, bool]:
+        """One iteration of the Fig-5 pipeline (split out so the tracer's
+        frame context cleanly wraps it).  Returns the loop-carried
+        ``(force_intra, needs_server_reset)`` flags for the next frame."""
+        tr = self.tracer
+        record = clip.frame(i)
+        t_cap = record.time
+        frame = record.image
+        compute = lat.encode
+
+        # --- Preprocessing + foreground extraction -------------------
+        motion = None
+        offsets = None
+        if encoder.reference is not None:
+            motion = estimate_motion(
+                frame,
+                encoder.reference,
+                method=cfg.me_method,
+                search_range=search_range,
+                tracer=tr,
+            )
+            compute += lat.motion_analysis + lat.foreground_extraction
+            moving = judge.update(motion.mv)
+            corrected = motion.mv.astype(float)
+            foe = calibrator.foe if cfg.calibrate_foe else (0.0, 0.0)
+            rot = None
+            if moving and cfg.enable_rotation_removal:
+                with tr.span("rotation"):
                     rot = estimate_rotation(
                         motion.mv, clip.intrinsics, k=cfg.r_sampling_k, foe=foe, rng=rng
                     )
                     if rot is not None:
                         corrected = remove_rotation(motion.mv, clip.intrinsics, rot)
-                if cfg.calibrate_foe:
-                    foe = calibrator.update(
-                        corrected,
-                        moving=moving,
-                        dphi=None if rot is None else (rot.dphi_x, rot.dphi_y),
-                    )
-                fg = extractor.extract(corrected, moving=moving, foe=foe)
-                offsets, _ = cfg.qp.offsets(fg.mask)
-
-            # --- Adaptive video encoding ---------------------------------
-            bandwidth = estimator.estimate(t_cap)
-            target_bits = max(bandwidth / fps * cfg.bandwidth_safety, 2048.0)
-            encoded = encoder.encode(
-                frame,
-                qp_offsets=offsets,
-                target_bits=target_bits,
-                motion=motion if not force_intra else None,
-                force_intra=force_intra,
-            )
-            force_intra = False
-
-            # --- Transmission / MOT fallback ------------------------------
-            # A frame that would sit in the queue longer than the HoL timer
-            # is stale before its first bit could go out: skip the upload
-            # and serve it locally (the paper tracks "this and after frames
-            # until the link is recovered").
-            enqueue_time = t_cap + compute
-            skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
-            tx = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
-            if tx is None or tx.dropped:
-                if tx is not None:
-                    estimator.record_outage(tx.start_time + (cfg.hol_timeout or 0.0))
-                force_intra = True
-                needs_server_reset = True
-                if cfg.enable_mot and motion is not None:
-                    detections = tracker.track(motion.mv)
-                    source = "tracked"
-                elif tracker.detections:
-                    detections = tracker.detections
-                    source = "cached"
-                else:
-                    detections = []
-                    source = "none"
-                run.frames.append(
-                    FrameResult(
-                        index=i,
-                        capture_time=t_cap,
-                        detections=detections,
-                        response_time=compute + lat.track,
-                        source=source,
-                        bytes_sent=0,
-                        dropped=True,
-                    )
+            if cfg.calibrate_foe:
+                foe = calibrator.update(
+                    corrected,
+                    moving=moving,
+                    dphi=None if rot is None else (rot.dphi_x, rot.dphi_y),
                 )
-                continue
+            with tr.span("foreground"):
+                fg = extractor.extract(corrected, moving=moving, foe=foe)
+            with tr.span("qp_map"):
+                offsets, _ = cfg.qp.offsets(fg.mask)
+            if tr.enabled:
+                # eta itself is already recorded by estimate_motion as the
+                # "me_nonzero_ratio" gauge.
+                tr.gauge("moving", 1.0 if moving else 0.0)
+                tr.gauge("fg_fraction", float(fg.mask.mean()))
 
-            if needs_server_reset:
-                server.reset()
-                needs_server_reset = False
-            result = server.process(encoded, record, arrival_time=tx.finish_time)
-            estimator.record_ack(tx.start_time, tx.finish_time, encoded.size_bytes)
-            tracker.update(result.detections)
-            run.frames.append(
+        # --- Adaptive video encoding ---------------------------------
+        bandwidth = estimator.estimate(t_cap)
+        if tr.enabled:
+            tr.gauge("bw_estimate", float(bandwidth))
+            tr.gauge("bw_actual", float(trace.rate_at(t_cap)))
+        target_bits = max(bandwidth / fps * cfg.bandwidth_safety, 2048.0)
+        encoded = encoder.encode(
+            frame,
+            qp_offsets=offsets,
+            target_bits=target_bits,
+            motion=motion if not force_intra else None,
+            force_intra=force_intra,
+        )
+        force_intra = False
+
+        # --- Transmission / MOT fallback ------------------------------
+        # A frame that would sit in the queue longer than the HoL timer
+        # is stale before its first bit could go out: skip the upload
+        # and serve it locally (the paper tracks "this and after frames
+        # until the link is recovered").
+        enqueue_time = t_cap + compute
+        skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
+        tx = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
+        if tx is None or tx.dropped:
+            if tx is not None:
+                estimator.record_outage(tx.start_time + (cfg.hol_timeout or 0.0))
+            force_intra = True
+            needs_server_reset = True
+            if cfg.enable_mot and motion is not None:
+                with tr.span("mot_track"):
+                    detections = tracker.track(motion.mv)
+                source = "tracked"
+            elif tracker.detections:
+                detections = tracker.detections
+                source = "cached"
+            else:
+                detections = []
+                source = "none"
+            if tr.enabled:
+                tr.gauge("outage", 1.0)
+            self._finish_frame(
+                run,
                 FrameResult(
                     index=i,
                     capture_time=t_cap,
-                    detections=result.detections,
-                    response_time=result.result_time - t_cap,
-                    source="edge",
-                    bytes_sent=encoded.size_bytes,
-                )
+                    detections=detections,
+                    response_time=compute + lat.track,
+                    source=source,
+                    bytes_sent=0,
+                    dropped=True,
+                ),
             )
-        return run
+            return force_intra, needs_server_reset
+
+        if needs_server_reset:
+            server.reset()
+            needs_server_reset = False
+        result = server.process(encoded, record, arrival_time=tx.finish_time)
+        estimator.record_ack(tx.start_time, tx.finish_time, encoded.size_bytes)
+        tracker.update(result.detections)
+        if tr.enabled:
+            tr.gauge("outage", 0.0)
+        self._finish_frame(
+            run,
+            FrameResult(
+                index=i,
+                capture_time=t_cap,
+                detections=result.detections,
+                response_time=result.result_time - t_cap,
+                source="edge",
+                bytes_sent=encoded.size_bytes,
+            ),
+        )
+        return force_intra, needs_server_reset

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.utils.noise import hash_lattice
 from repro.world.annotations import FrameRecord
-from repro.world.scene import GROUND_ID, SKY_ID
+from repro.world.scene import GROUND_ID
 
 __all__ = ["Detection", "DetectorModel", "QualityAwareDetector"]
 

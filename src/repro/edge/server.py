@@ -14,6 +14,7 @@ import numpy as np
 from repro.codec.decoder import VideoDecoder
 from repro.codec.encoder import EncodedFrame
 from repro.edge.detector import Detection, QualityAwareDetector
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.world.annotations import FrameRecord
 
 __all__ = ["EdgeServer", "InferenceResult"]
@@ -53,6 +54,9 @@ class EdgeServer:
         Seconds of DNN inference per frame on the serverless fabric.
     downlink_latency:
         Seconds for the result message to reach the agent.
+    tracer:
+        Observability hook; decode and detection are timed as spans
+        ``"server/decode"`` / ``"server/detect"``.
     """
 
     def __init__(
@@ -61,10 +65,12 @@ class EdgeServer:
         *,
         inference_latency: float = 0.020,
         downlink_latency: float = 0.010,
+        tracer: Tracer | NullTracer = NULL_TRACER,
     ):
         self.detector = detector or QualityAwareDetector()
         self.inference_latency = float(inference_latency)
         self.downlink_latency = float(downlink_latency)
+        self.tracer = tracer
         self._decoder = VideoDecoder()
 
     def reset(self) -> None:
@@ -73,8 +79,14 @@ class EdgeServer:
 
     def process(self, encoded: EncodedFrame, record: FrameRecord, *, arrival_time: float) -> InferenceResult:
         """Decode an uploaded frame, run inference, schedule the reply."""
-        decoded = self._decoder.decode(encoded)
-        detections = self.detector.detect(decoded, record)
+        tr = self.tracer
+        with tr.span("server"):
+            with tr.span("decode"):
+                decoded = self._decoder.decode(encoded)
+            with tr.span("detect"):
+                detections = self.detector.detect(decoded, record)
+        if tr.enabled:
+            tr.gauge("server_detections", float(len(detections)))
         return InferenceResult(
             frame_index=record.index,
             detections=detections,
@@ -85,7 +97,10 @@ class EdgeServer:
     def process_image(self, image: np.ndarray, record: FrameRecord, *, arrival_time: float) -> InferenceResult:
         """Run inference on an already-decoded image (used by schemes that
         upload regions rather than codec streams)."""
-        detections = self.detector.detect(image, record)
+        tr = self.tracer
+        with tr.span("server"):
+            with tr.span("detect"):
+                detections = self.detector.detect(image, record)
         return InferenceResult(
             frame_index=record.index,
             detections=detections,

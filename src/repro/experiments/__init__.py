@@ -38,7 +38,13 @@ from repro.experiments.fig14 import MotionStateResult, run_fig14
 from repro.experiments.fig16 import EndToEndResult, run_fig16_17
 from repro.experiments.reporting import format_table, print_table
 from repro.experiments.scalability import ScalabilityResult, replay_shared_server, run_scalability
-from repro.experiments.runner import EvaluationResult, evaluate_run, ground_truth_for, run_scheme
+from repro.experiments.runner import (
+    EvaluationResult,
+    evaluate_run,
+    ground_truth_for,
+    run_scheme,
+    tracer_for,
+)
 from repro.experiments.table1 import DatasetSummary, run_table1
 
 __all__ = [
@@ -77,5 +83,6 @@ __all__ = [
     "ScalabilityResult",
     "run_scheme",
     "run_table1",
+    "tracer_for",
     "scaled_bandwidth",
 ]

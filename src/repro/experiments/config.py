@@ -51,11 +51,17 @@ class ExperimentConfig:
     detector_seed:
         Seed of the surrogate detector (shared across schemes so ground
         truth is identical for every comparison).
+    tracing:
+        Frame-level tracing switch (see :mod:`repro.obs`).  Off by
+        default — experiments then run with the shared no-op tracer and
+        pay no overhead.  :func:`repro.experiments.runner.tracer_for`
+        turns this into a tracer instance.
     """
 
     n_clips: int = 3
     n_frames: int = 48
     detector_seed: int = 7
+    tracing: bool = False
 
 
 def scaled_bandwidth(mbps_label: float, clip: Clip) -> float:

@@ -15,7 +15,7 @@ configuration, as they would be inside the encoder.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -13,7 +13,7 @@ benefit — is interval-scale free).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 import numpy as np
 

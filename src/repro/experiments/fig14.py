@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.agent import DiVEScheme
 from repro.edge.evaluation import evaluate_detections

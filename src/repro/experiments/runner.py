@@ -10,10 +10,19 @@ from repro.baselines.base import AnalyticsScheme, SchemeRun
 from repro.edge.detector import Detection, QualityAwareDetector
 from repro.edge.evaluation import evaluate_detections
 from repro.edge.server import EdgeServer
+from repro.experiments.config import ExperimentConfig
 from repro.network.trace import BandwidthTrace
+from repro.obs import NULL_TRACER, NullTracer, Tracer
 from repro.world.datasets import Clip
 
-__all__ = ["EvaluationResult", "aggregate", "evaluate_run", "ground_truth_for", "run_scheme"]
+__all__ = [
+    "EvaluationResult",
+    "aggregate",
+    "evaluate_run",
+    "ground_truth_for",
+    "run_scheme",
+    "tracer_for",
+]
 
 
 @dataclass
@@ -55,6 +64,17 @@ def ground_truth_for(clip: Clip, *, detector_seed: int = 7) -> list[list[Detecti
     return [detector.ground_truth(clip.frame(i)) for i in range(clip.n_frames)]
 
 
+def tracer_for(config: ExperimentConfig) -> Tracer | NullTracer:
+    """The tracer dictated by a config's ``tracing`` switch.
+
+    A fresh live :class:`~repro.obs.Tracer` when ``config.tracing`` is set,
+    the shared no-op tracer otherwise — pass the result to
+    :func:`run_scheme` (possibly across several runs, accumulating one
+    combined trace).
+    """
+    return Tracer() if config.tracing else NULL_TRACER
+
+
 def run_scheme(
     scheme: AnalyticsScheme,
     clip: Clip,
@@ -62,14 +82,24 @@ def run_scheme(
     *,
     detector_seed: int = 7,
     ground_truth: list[list[Detection]] | None = None,
+    tracer: Tracer | NullTracer | None = None,
 ) -> EvaluationResult:
     """Run one scheme on one clip and evaluate it.
 
     A fresh :class:`EdgeServer` (with the shared detector seed) is created
     per run so decoder state never leaks between schemes; ground truth can
-    be passed in to avoid recomputing it across schemes.
+    be passed in to avoid recomputing it across schemes.  A ``tracer``
+    (see :mod:`repro.obs` and :func:`tracer_for`) is threaded through the
+    scheme and the server so the run emits a per-frame trace; when omitted
+    the scheme keeps whatever tracer it already has (the no-op by default).
     """
-    server = EdgeServer(QualityAwareDetector(seed=detector_seed))
+    if tracer is not None:
+        scheme.use_tracer(tracer)
+        if tracer.enabled:
+            tracer.meta.setdefault("runs", []).append(
+                {"scheme": scheme.name, "clip": clip.name, "n_frames": clip.n_frames}
+            )
+    server = EdgeServer(QualityAwareDetector(seed=detector_seed), tracer=scheme.tracer)
     run = scheme.run(clip, trace, server)
     return evaluate_run(run, clip, detector_seed=detector_seed, ground_truth=ground_truth)
 

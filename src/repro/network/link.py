@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.network.trace import BandwidthTrace
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["TransmissionResult", "UplinkSimulator"]
 
@@ -59,11 +60,22 @@ class UplinkSimulator:
     hol_timeout:
         Seconds a frame may sit as head-of-line before the agent declares
         an outage and drops it; ``None`` disables dropping.
+    tracer:
+        Observability hook; every :meth:`transmit` records the *simulated*
+        queueing/transmission delays and bytes as per-frame gauges (these
+        are model outputs, not wall-clock spans).
     """
 
-    def __init__(self, trace: BandwidthTrace, *, hol_timeout: float | None = None):
+    def __init__(
+        self,
+        trace: BandwidthTrace,
+        *,
+        hol_timeout: float | None = None,
+        tracer: Tracer | NullTracer = NULL_TRACER,
+    ):
         self.trace = trace
         self.hol_timeout = hol_timeout
+        self.tracer = tracer
         self._busy_until = 0.0
 
     def reset(self) -> None:
@@ -78,11 +90,17 @@ class UplinkSimulator:
         start = max(enqueue_time, self._busy_until)
         bits = float(size_bytes) * 8.0
         finish = self.trace.finish_time(start, bits)
+        tr = self.tracer
+        if tr.enabled:
+            tr.gauge("uplink_queue_wait", start - enqueue_time)
+            tr.gauge("uplink_bytes", float(size_bytes))
         if self.hol_timeout is not None and finish > start + self.hol_timeout:
             # Timer fires: the frame is abandoned.  The channel is released
             # at the timer expiry (partial transmission wasted).
             drop_at = start + self.hol_timeout
             self._busy_until = drop_at
+            if tr.enabled:
+                tr.count("uplink_dropped")
             return TransmissionResult(
                 frame_index=frame_index,
                 enqueue_time=enqueue_time,
@@ -92,6 +110,8 @@ class UplinkSimulator:
                 bytes=size_bytes,
             )
         self._busy_until = finish
+        if tr.enabled:
+            tr.gauge("uplink_tx_time", finish - start)
         return TransmissionResult(
             frame_index=frame_index,
             enqueue_time=enqueue_time,

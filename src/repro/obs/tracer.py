@@ -1,0 +1,230 @@
+"""Frame-level tracing: nestable spans and per-frame counters.
+
+DiVE's budget is negotiated per frame (Fig 5: ME → rotation removal →
+foreground → QP map → CBR encode → uplink), so the unit of observability is
+the *frame*: a :class:`FrameTrace` holds every stage's wall-clock time and
+every counter/gauge recorded while that frame was being processed.
+
+Two kinds of measurement coexist and must not be confused:
+
+- **spans** measure *real* wall-clock compute time (``time.perf_counter``)
+  spent inside a ``with tracer.span("me"):`` block.  Spans nest; a span
+  opened inside another records under the slash-joined path (``"encode/dct"``).
+- **counters/gauges** record *values* — coded bits, QP statistics,
+  simulated queueing delays, outage flags, bandwidth estimate vs. actual.
+  ``count`` accumulates, ``gauge`` overwrites.
+
+Tracing is opt-in.  Every instrumented component takes a tracer that
+defaults to :data:`NULL_TRACER`, whose methods are no-ops returning a
+shared context manager — the disabled hot path costs one attribute lookup
+and an empty ``with`` block, nothing else.  Guard any *computation of the
+recorded value* with ``if tracer.enabled:`` so the disabled path does not
+even build the value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["NULL_TRACER", "FrameTrace", "NullTracer", "Tracer"]
+
+
+@dataclass
+class FrameTrace:
+    """Everything recorded while one frame was processed.
+
+    Attributes
+    ----------
+    index:
+        Frame index (``-1`` for the orphan record that collects spans and
+        counters recorded outside any ``tracer.frame(...)`` context).
+    spans:
+        Slash-joined span path → accumulated wall-clock seconds.
+    counters:
+        Counter/gauge name → value.
+    """
+
+    index: int
+    spans: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"index": self.index, "spans": dict(self.spans), "counters": dict(self.counters)}
+
+    @classmethod
+    def from_json(cls, obj: dict[str, Any]) -> "FrameTrace":
+        return cls(
+            index=int(obj["index"]),
+            spans={str(k): float(v) for k, v in obj.get("spans", {}).items()},
+            counters={str(k): float(v) for k, v in obj.get("counters", {}).items()},
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not self.spans and not self.counters
+
+
+class _SpanContext:
+    """Context manager for one live span (re-entrant across frames)."""
+
+    __slots__ = ("_tracer", "_name", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_SpanContext":
+        self._tracer._stack.append(self._name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        tr = self._tracer
+        path = "/".join(tr._stack)
+        tr._stack.pop()
+        record = tr._record()
+        record.spans[path] = record.spans.get(path, 0.0) + elapsed
+
+
+class _FrameContext:
+    """Context manager delimiting one frame's record."""
+
+    __slots__ = ("_tracer", "_frame")
+
+    def __init__(self, tracer: "Tracer", index: int):
+        self._tracer = tracer
+        self._frame = FrameTrace(index=index)
+
+    def __enter__(self) -> FrameTrace:
+        if self._tracer._current is not None:
+            raise RuntimeError("frame contexts do not nest")
+        self._tracer._current = self._frame
+        return self._frame
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._current = None
+        self._tracer.frames.append(self._frame)
+
+
+class Tracer:
+    """Collects :class:`FrameTrace` records for a run.
+
+    Usage::
+
+        tracer = Tracer(meta={"scheme": "DiVE"})
+        with tracer.frame(i):
+            with tracer.span("me"):
+                ...                      # timed as "me"
+                with tracer.span("subpel"):
+                    ...                  # timed as "me/subpel"
+            tracer.gauge("bits", encoded.bits)
+            tracer.count("dropped")      # accumulating counter
+
+    Spans or counters recorded outside a ``frame(...)`` context land in a
+    single orphan record with ``index == -1`` (exported last, if non-empty).
+    """
+
+    enabled = True
+
+    def __init__(self, meta: dict[str, Any] | None = None):
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.frames: list[FrameTrace] = []
+        self._orphan = FrameTrace(index=-1)
+        self._current: FrameTrace | None = None
+        self._stack: list[str] = []
+
+    # -- recording ----------------------------------------------------------
+    def frame(self, index: int) -> _FrameContext:
+        """Open the record for frame ``index``."""
+        return _FrameContext(self, int(index))
+
+    def span(self, name: str) -> _SpanContext:
+        """Time a stage; nests under any enclosing span as ``outer/name``."""
+        return _SpanContext(self, name)
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        """Add ``value`` to an accumulating per-frame counter."""
+        counters = self._record().counters
+        counters[name] = counters.get(name, 0.0) + float(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a per-frame gauge (last write wins)."""
+        self._record().counters[name] = float(value)
+
+    def frame_record(self, index: int) -> FrameTrace:
+        """The record counters for frame ``index`` should go to.
+
+        The active frame when one is open; otherwise a fresh, already-closed
+        record appended to :attr:`frames` — for schemes that record a frame
+        summary after the fact instead of wrapping their loop body.
+        """
+        if self._current is not None:
+            return self._current
+        record = FrameTrace(index=int(index))
+        self.frames.append(record)
+        return record
+
+    # -- access -------------------------------------------------------------
+    def _record(self) -> FrameTrace:
+        return self._current if self._current is not None else self._orphan
+
+    @property
+    def orphan(self) -> FrameTrace:
+        """Spans/counters recorded outside any frame context."""
+        return self._orphan
+
+    def all_records(self) -> Iterator[FrameTrace]:
+        """Every frame record, plus the orphan record when non-empty."""
+        yield from self.frames
+        if not self._orphan.empty:
+            yield self._orphan
+
+
+class _NullContext:
+    """Shared no-op context manager (one instance, zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """Zero-overhead tracer used by default everywhere.
+
+    Every method is a no-op; ``span``/``frame`` return one shared context
+    manager, so the disabled hot path allocates nothing.
+    """
+
+    enabled = False
+
+    __slots__ = ()
+
+    def frame(self, index: int) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def span(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def count(self, name: str, value: float = 1.0) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def frame_record(self, index: int) -> None:
+        return None
+
+
+#: The shared no-op tracer — the default for every instrumented component.
+NULL_TRACER = NullTracer()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import DDSConfig, DDSScheme, EAARConfig, EAARScheme, LatencyModel, O3Config, O3Scheme
+from repro.baselines import DDSConfig, DDSScheme, EAARConfig, EAARScheme, LatencyModel, O3Config
 from repro.baselines.base import FrameResult, SchemeRun
 from repro.codec.encoder import encode_region_update
 from repro.edge import Detection

@@ -47,3 +47,17 @@ class TestMain:
         out = capsys.readouterr().out
         assert rc == 0
         assert "nuscenes" in out and "robotcar" in out
+
+    def test_trace_writes_jsonl_and_prints_summary(self, capsys, tmp_path):
+        from repro.obs import read_jsonl
+
+        out_path = tmp_path / "trace.jsonl"
+        rc = main(["trace", "--clips", "1", "--frames", "6", "--output", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "per-stage wall-clock latency" in out
+        assert "me" in out and "encode" in out and "bits" in out
+        meta, frames = read_jsonl(out_path)
+        assert meta["scheme"] == "dive"
+        assert len(frames) == 6
+        assert all("bits" in f.counters for f in frames)

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.codec import EncoderConfig, psnr
-from repro.codec.gop import BFrameEncodedFrame, GopStructure, encode_gop_sequence
+from repro.codec.gop import GopStructure, encode_gop_sequence
 from repro.utils.noise import value_noise_2d
 
 

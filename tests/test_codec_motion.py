@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.codec import ME_METHODS, estimate_motion, motion_compensate, nonzero_mv_ratio
 from repro.utils.integral import shift_with_edge_pad
@@ -105,6 +107,47 @@ class TestEstimateMotion:
         blk = cur[r * 16 : (r + 1) * 16, c * 16 : (c + 1) * 16]
         refblk = pad[r * 16 - dy + 4 : r * 16 - dy + 20, c * 16 - dx + 4 : c * 16 - dx + 20]
         assert me.sad[r, c] == pytest.approx(np.abs(blk - refblk).sum(), rel=1e-5)
+
+
+class TestMotionEstimationProperties:
+    """Property tests over all five ME methods (hypothesis-driven).
+
+    Two invariants that must hold for *any* content and any search method:
+
+    - identical current/reference frames yield an all-zero MV field (so
+      the paper's ego-motion statistic eta is exactly 0 while stopped);
+    - a pure integer global shift is recovered exactly by interior blocks
+      (boundary blocks see edge-padding artefacts and are excluded).
+    """
+
+    @pytest.mark.parametrize("method", ME_METHODS)
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    @given(seed=st.integers(min_value=0, max_value=1_000_000))
+    def test_identical_frames_zero_field(self, method, seed):
+        ref = textured_frame(shape=(48, 64), seed=seed)
+        me = estimate_motion(ref, ref.copy(), method=method, search_range=8)
+        assert np.all(me.mv == 0)
+        assert nonzero_mv_ratio(me.mv) == 0.0
+
+    @pytest.mark.parametrize("method", ME_METHODS)
+    @settings(max_examples=5, deadline=None, derandomize=True)
+    @given(
+        seed=st.integers(min_value=0, max_value=1_000_000),
+        dx=st.integers(min_value=-5, max_value=5),
+        dy=st.integers(min_value=-5, max_value=5),
+    )
+    def test_integer_shift_recovered_by_interior_blocks(self, method, seed, dx, dy):
+        if method == "dia":
+            # DIA is the deliberately weak search (no coarse seeding): it
+            # is only guaranteed for small displacements.
+            dx = int(np.clip(dx, -2, 2))
+            dy = int(np.clip(dy, -2, 2))
+        ref = textured_frame(shape=(64, 96), seed=seed)
+        cur = shift_with_edge_pad(ref, dx, dy)
+        me = estimate_motion(cur, ref, method=method, search_range=8)
+        inner = me.mv[1:-1, 1:-1]
+        assert (inner[..., 0] == dx).mean() > 0.9
+        assert (inner[..., 1] == dy).mean() > 0.9
 
 
 class TestMotionCompensate:

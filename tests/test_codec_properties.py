@@ -1,7 +1,6 @@
 """Hypothesis property tests over the codec end-to-end."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -6,7 +6,7 @@ import pytest
 from repro.codec import estimate_motion
 from repro.core import FOECalibrator, block_centers
 from repro.geometry import CameraIntrinsics, translational_flow
-from repro.world import EgoTrajectory, StraightSegment, nuscenes_like
+from repro.world import EgoTrajectory, StraightSegment
 from repro.world.scene import Scene
 from repro.world.renderer import Renderer
 

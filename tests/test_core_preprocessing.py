@@ -12,7 +12,7 @@ from repro.core import (
     r_sample,
     remove_rotation,
 )
-from repro.geometry import CameraIntrinsics, combined_flow, rotational_flow, translational_flow
+from repro.geometry import CameraIntrinsics, combined_flow
 
 INTR = CameraIntrinsics(focal=557.0, width=640, height=384)
 GRID = (384 // 16, 640 // 16)

@@ -1,0 +1,86 @@
+"""Golden end-to-end regression test.
+
+A seeded fig16-scale DiVE run (2 nuScenes-like clips, constant 2 Mbps
+paper-scale uplink) locks a digest of per-frame coded bytes, per-frame mean
+QP (from the frame trace) and per-frame detection counts.  Any silent
+behaviour drift in the codec, core pipeline, network model or detector —
+however small — changes the digest and fails this test loudly.
+
+If a change *intentionally* alters behaviour (a codec fix, a new QP
+policy, a detector recalibration), rerun with ``-s`` to print the new
+digest and update ``GOLDEN_DIGEST`` in the same PR, stating why.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.core import DiVEScheme
+from repro.experiments import ground_truth_for, run_scheme, scaled_bandwidth
+from repro.network import constant_trace
+from repro.obs import Tracer
+from repro.world import nuscenes_like
+
+N_CLIPS = 2
+N_FRAMES = 12
+BANDWIDTH_MBPS = 2.0
+
+GOLDEN_DIGEST = "815bb9730b7fac3d9c5ddab631064d6047b11e0a4fd32891684d956362f2cf52"
+
+
+@pytest.fixture(scope="module")
+def golden_run():
+    """One traced DiVE run over the seeded clip set."""
+    tracer = Tracer()
+    results = []
+    for seed in range(N_CLIPS):
+        clip = nuscenes_like(seed, n_frames=N_FRAMES)
+        trace = constant_trace(scaled_bandwidth(BANDWIDTH_MBPS, clip))
+        results.append(
+            run_scheme(
+                DiVEScheme(),
+                clip,
+                trace,
+                ground_truth=ground_truth_for(clip),
+                tracer=tracer,
+            )
+        )
+    return results, tracer
+
+
+def compute_digest(results, tracer):
+    parts = []
+    for result in results:
+        for f in result.run.frames:
+            parts.append(
+                f"{result.clip_name}/{f.index}:bytes={f.bytes_sent}"
+                f":ndet={len(f.detections)}:src={f.source}"
+            )
+    for record in tracer.frames:
+        # qp_mean is quantiser state, rounded so the digest keys on real
+        # drift, not on float printing.
+        parts.append(f"qp/{record.index}={record.counters.get('qp_mean', -1.0):.3f}")
+    return hashlib.sha256(";".join(parts).encode()).hexdigest()
+
+
+def test_run_shape(golden_run):
+    results, tracer = golden_run
+    assert len(results) == N_CLIPS
+    assert all(len(r.run.frames) == N_FRAMES for r in results)
+    # Every frame of every clip produced a trace record with QP + bits.
+    assert len(tracer.frames) == N_CLIPS * N_FRAMES
+    for record in tracer.frames:
+        assert record.counters["bits"] > 0
+        assert 0.0 <= record.counters["qp_mean"] <= 51.0
+
+
+def test_golden_digest(golden_run):
+    results, tracer = golden_run
+    digest = compute_digest(results, tracer)
+    print(f"\ngolden e2e digest: {digest}")
+    assert digest == GOLDEN_DIGEST, (
+        "end-to-end behaviour drifted: the seeded DiVE run no longer "
+        "reproduces the locked per-frame bytes/QP/detections. If the "
+        f"change is intentional, update GOLDEN_DIGEST to {digest!r} and "
+        "explain the drift in the PR."
+    )

@@ -4,7 +4,6 @@ import importlib.util
 import sys
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.codec.gop import GopStructure

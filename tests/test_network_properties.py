@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.network import (
-    BandwidthTrace,
     UplinkSimulator,
     constant_trace,
     markov_trace,

@@ -1,6 +1,5 @@
 """Tests for the multi-agent edge-server scalability study."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.base import FrameResult, SchemeRun

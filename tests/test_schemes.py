@@ -6,7 +6,6 @@ import pytest
 from repro.baselines import DDSScheme, EAARScheme, O3Scheme
 from repro.baselines.base import PendingResults
 from repro.core import DiVEConfig, DiVEScheme
-from repro.edge import EdgeServer, QualityAwareDetector
 from repro.experiments import ground_truth_for, run_scheme, scaled_bandwidth
 from repro.network import BandwidthTrace, constant_trace, with_outages
 from repro.world import nuscenes_like
