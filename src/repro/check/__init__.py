@@ -1,0 +1,48 @@
+"""Project-specific static analysis + runtime numpy sanitizer.
+
+Two halves of one correctness net:
+
+- **Static** (:mod:`repro.check.engine` / :mod:`repro.check.rules`): an
+  AST rule engine with ~10 DiVE-specific rules (seeded RNG discipline,
+  perf_counter-only hot paths, explicit codec dtypes, QP bounds,
+  bits-vs-bytes hygiene, ...).  Run it as ``repro lint [--format json]
+  [paths]``; suppress inline with ``# repro: noqa[S001]``.
+- **Runtime** (:mod:`repro.check.sanitize`): an opt-in array sanitizer
+  (``ExperimentConfig(sanitize=True)``) asserting finiteness, dtype and
+  macroblock alignment at agent/encoder/decoder/server stage boundaries.
+
+See the "Static analysis & sanitizer" sections of README.md / API.md.
+"""
+
+from repro.check.engine import (
+    CheckResult,
+    Finding,
+    ModuleContext,
+    Rule,
+    all_rules,
+    check_file,
+    check_paths,
+    check_source,
+    register,
+)
+from repro.check.report import render_json, render_text, rule_table
+from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer, SanitizeError
+
+__all__ = [
+    "ArraySanitizer",
+    "CheckResult",
+    "Finding",
+    "ModuleContext",
+    "NULL_SANITIZER",
+    "NullSanitizer",
+    "Rule",
+    "SanitizeError",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "register",
+    "render_json",
+    "render_text",
+    "rule_table",
+]

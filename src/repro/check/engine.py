@@ -1,0 +1,311 @@
+"""Pluggable AST-based static-analysis engine.
+
+Generic linters know nothing about the invariants DiVE's correctness rests
+on — seeded randomness (the golden e2e digest depends on it), bits vs.
+bytes in rate control, QP bounds, macroblock-aligned shapes, monotonic
+clocks in hot paths.  This engine machine-checks them:
+
+- a :class:`Rule` declares the AST node types it wants, an id/severity, a
+  path scope (e.g. only ``codec/`` files) and a ``check`` method yielding
+  ``(node, message)`` pairs;
+- :func:`check_source` parses one module and dispatches every node to the
+  applicable rules in a single walk;
+- inline ``# repro: noqa[S001]`` comments (or bare ``# repro: noqa``)
+  suppress findings on their line;
+- :func:`check_paths` recurses into directories and lints every ``*.py``.
+
+Rules register themselves with :func:`register`; see
+:mod:`repro.check.rules` for the DiVE-specific rule set and
+:mod:`repro.check.report` for the text/JSON reporters.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+__all__ = [
+    "CheckResult",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "dotted_name",
+    "iter_python_files",
+    "register",
+]
+
+#: Severity ladder, mildest first.
+SEVERITIES = ("warning", "error")
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_\s,]+)\])?")
+
+#: Directory names never descended into by :func:`iter_python_files`.
+_SKIP_DIRS = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    @property
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may consult about the module being checked."""
+
+    path: str
+    lines: tuple[str, ...]
+
+    @property
+    def parts(self) -> tuple[str, ...]:
+        return Path(self.path).parts
+
+    @property
+    def filename(self) -> str:
+        return Path(self.path).name
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`, which
+    receives each AST node whose type appears in :attr:`node_types` and
+    yields ``(node, message)`` pairs for violations.
+
+    Attributes
+    ----------
+    id:
+        Stable rule id (``S001`` ...), used in reports and ``noqa``.
+    name:
+        Short kebab-case name.
+    severity:
+        ``"error"`` or ``"warning"`` (both gate the exit code; the split
+        exists for reporting and future policy).
+    scope:
+        Path parts (directory names) the rule is limited to; empty means
+        the rule applies everywhere.
+    exclude_files:
+        Basenames the rule never applies to (e.g. the module that is
+        *allowed* to print).
+    node_types:
+        AST node classes dispatched to :meth:`check`.
+    """
+
+    id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+    scope: tuple[str, ...] = ()
+    exclude_files: tuple[str, ...] = ()
+    node_types: tuple[type, ...] = ()
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if ctx.filename in self.exclude_files:
+            return False
+        if not self.scope:
+            return True
+        parts = ctx.parts
+        return any(part in parts for part in self.scope)
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    def module_check(self, tree: ast.Module, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        """Optional whole-module pass (runs once, before node dispatch)."""
+        return iter(())
+
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not cls.id or not cls.name:
+        raise ValueError(f"rule {cls.__name__} must set id and name")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"rule {cls.id}: severity {cls.severity!r} not in {SEVERITIES}")
+    existing = _REGISTRY.get(cls.id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.id}: {existing.__name__} and {cls.__name__}")
+    _REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, ordered by id."""
+    import repro.check.rules  # noqa: F401  (registers the built-in rules)
+
+    return [cls() for _, cls in sorted(_REGISTRY.items())]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _noqa_rules_for_line(line: str) -> set[str] | None:
+    """Rule ids suppressed by a ``# repro: noqa`` comment on ``line``.
+
+    Returns ``None`` when there is no noqa comment; an empty set means
+    "suppress everything" (bare noqa).
+    """
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    rules = m.group("rules")
+    if rules is None:
+        return set()
+    return {r.strip().upper() for r in rules.split(",") if r.strip()}
+
+
+def _suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    if not 1 <= finding.line <= len(lines):
+        return False
+    rules = _noqa_rules_for_line(lines[finding.line - 1])
+    if rules is None:
+        return False
+    return not rules or finding.rule in rules
+
+
+def check_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one module's source text.
+
+    ``path`` is used both for reporting and for rule path-scoping, so
+    tests can exercise scoped rules by passing e.g.
+    ``path="src/repro/codec/x.py"``.  A syntax error is itself reported as
+    a finding (rule ``E999``) rather than raised.
+    """
+    ctx = ModuleContext(path=path, lines=tuple(source.splitlines()))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="E999",
+                severity="error",
+                path=path,
+                line=int(exc.lineno or 1),
+                col=int(exc.offset or 0),
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    active = [r for r in (all_rules() if rules is None else rules) if r.applies_to(ctx)]
+    if not active:
+        return []
+
+    dispatch: dict[type, list[Rule]] = {}
+    findings: list[Finding] = []
+
+    def emit(rule: Rule, node: ast.AST, message: str) -> None:
+        findings.append(
+            Finding(
+                rule=rule.id,
+                severity=rule.severity,
+                path=path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    for rule in active:
+        for found_node, message in rule.module_check(tree, ctx):
+            emit(rule, found_node, message)
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+
+    if dispatch:
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                for found_node, message in rule.check(node, ctx):
+                    emit(rule, found_node, message)
+
+    findings = [f for f in findings if not _suppressed(f, ctx.lines)]
+    findings.sort(key=lambda f: f.sort_key)
+    return findings
+
+
+def check_file(path: str | Path, *, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    p = Path(path)
+    return check_source(p.read_text(encoding="utf-8"), path=str(p), rules=rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a deterministic list of ``*.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(
+                f for f in p.rglob("*.py") if not (set(f.parts) & _SKIP_DIRS)
+            )
+        else:
+            candidates = [p]
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of linting a path set."""
+
+    findings: list[Finding]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def check_paths(paths: Iterable[str | Path], *, rules: Iterable[Rule] | None = None) -> CheckResult:
+    """Lint every python file under ``paths`` (files and/or directories)."""
+    rule_list = list(all_rules() if rules is None else rules)
+    findings: list[Finding] = []
+    n_files = 0
+    for f in iter_python_files(paths):
+        n_files += 1
+        findings.extend(check_file(f, rules=rule_list))
+    findings.sort(key=lambda f: f.sort_key)
+    return CheckResult(findings=findings, files_checked=n_files)

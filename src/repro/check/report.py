@@ -1,0 +1,64 @@
+"""Reporters for lint findings: human text and machine-readable JSON.
+
+The JSON document is the contract with the CI gate::
+
+    {
+      "version": 1,
+      "files_checked": 87,
+      "findings": [
+        {"rule": "S001", "severity": "error", "path": "src/x.py",
+         "line": 12, "col": 8, "message": "..."}
+      ],
+      "summary": {"total": 1, "by_rule": {"S001": 1},
+                  "by_severity": {"error": 1}}
+    }
+
+``findings`` is sorted by ``(path, line, col, rule)`` so diffs are stable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Any
+
+from repro.check.engine import CheckResult, all_rules
+
+__all__ = ["render_json", "render_text", "rule_table"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: CheckResult) -> str:
+    """``path:line:col: RULE severity message`` lines plus a summary line."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule} {f.severity}: {f.message}"
+        for f in result.findings
+    ]
+    n = len(result.findings)
+    noun = "finding" if n == 1 else "findings"
+    lines.append(f"{n} {noun} in {result.files_checked} files")
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    doc: dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "findings": [f.to_json() for f in result.findings],
+        "summary": {
+            "total": len(result.findings),
+            "by_rule": dict(sorted(Counter(f.rule for f in result.findings).items())),
+            "by_severity": dict(sorted(Counter(f.severity for f in result.findings).items())),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
+def rule_table() -> str:
+    """One line per registered rule: ``id  severity  name — description``."""
+    lines = []
+    for rule in all_rules():
+        scope = f" [{'/'.join(rule.scope)}]" if rule.scope else ""
+        lines.append(f"{rule.id}  {rule.severity:7s} {rule.name}{scope}: {rule.description}")
+    return "\n".join(lines)

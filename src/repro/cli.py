@@ -45,6 +45,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _cmd_demo(args: argparse.Namespace) -> str:
+    from repro.check import ArraySanitizer
     from repro.core import DiVEScheme
     from repro.network import constant_trace
     from repro.world import nuscenes_like, robotcar_like
@@ -52,7 +53,10 @@ def _cmd_demo(args: argparse.Namespace) -> str:
     maker = {"nuscenes": nuscenes_like, "robotcar": robotcar_like}[args.dataset]
     clip = maker(args.seed, n_frames=args.frames)
     trace = constant_trace(scaled_bandwidth(args.bandwidth, clip))
-    result = run_scheme(DiVEScheme(), clip, trace, ground_truth=ground_truth_for(clip))
+    sanitizer = ArraySanitizer() if args.sanitize else None
+    result = run_scheme(
+        DiVEScheme(), clip, trace, ground_truth=ground_truth_for(clip), sanitizer=sanitizer
+    )
     rows = [
         ["mAP", result.map],
         ["AP car", result.ap["car"]],
@@ -262,6 +266,18 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project-specific static analyser (see :mod:`repro.check`)."""
+    from repro.check import check_paths, render_json, render_text, rule_table
+
+    if args.list_rules:
+        print(rule_table())
+        return 0
+    result = check_paths(args.paths)
+    print(render_json(result) if args.format == "json" else render_text(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_scalability(args: argparse.Namespace) -> str:
     rows = run_scalability(_config(args))
     return format_table(
@@ -306,16 +322,31 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--dataset", choices=("nuscenes", "robotcar"), default="nuscenes")
             p.add_argument("--seed", type=int, default=0)
             p.add_argument("--bandwidth", type=float, default=2.0, help="paper-scale Mbps")
+        if name == "demo":
+            p.add_argument(
+                "--sanitize",
+                action="store_true",
+                help="validate frame/MV/QP arrays at every stage boundary (repro.check)",
+            )
         if name == "trace":
             p.add_argument("--scheme", choices=("dive", "dds", "eaar", "o3"), default="dive")
             p.add_argument("--output", default="trace.jsonl", help="JSONL trace output path")
         if name in ("fig16", "fig17"):
             p.set_defaults(figure=16 if name == "fig16" else 17)
+    lint = sub.add_parser(
+        "lint",
+        help="Project-specific static analysis (seeded RNG, QP bounds, bits/bytes, ...)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"], help="files/directories to lint")
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _cmd_lint(args)
     func, _ = _COMMANDS[args.command]
     print(func(args))
     return 0

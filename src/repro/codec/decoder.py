@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.codec.encoder import EncodedFrame, _INTRA_DC
 from repro.codec.intra import intra_decode
 from repro.codec.motion import motion_compensate
@@ -22,10 +23,16 @@ __all__ = ["VideoDecoder"]
 
 
 class VideoDecoder:
-    """Stateful decoder over an encoded frame sequence."""
+    """Stateful decoder over an encoded frame sequence.
 
-    def __init__(self, *, block: int = 16):
+    ``sanitizer`` validates the received bitstream payload and every
+    decoded frame (finite, float32, macroblock-aligned) — see
+    :mod:`repro.check.sanitize`; the default no-op costs nothing.
+    """
+
+    def __init__(self, *, block: int = 16, sanitizer: ArraySanitizer | NullSanitizer = NULL_SANITIZER):
         self.block = block
+        self.sanitizer = sanitizer
         self._reference: np.ndarray | None = None
 
     def reset(self) -> None:
@@ -40,10 +47,16 @@ class VideoDecoder:
             If a P-frame arrives with no reference (a preceding frame was
             never decoded).
         """
+        san = self.sanitizer
+        if san.enabled:
+            san.check(encoded.levels, "decoder/bitstream", name="quantised levels")
+            san.check(encoded.qp_map, "decoder/bitstream", name="QP map", lo=0.0, hi=51.0)
         if encoded.frame_type == "I" and encoded.intra_modes is not None:
             frame = intra_decode(
                 encoded.levels, encoded.intra_modes, encoded.qp_map, block=self.block
             ).astype(np.float32)
+            if san.enabled:
+                san.check(frame, "decoder/frame", name="decoded frame", dtype=np.float32, block_aligned=True)
             self._reference = frame
             return frame
         residual = idct_blocks(dequantize(encoded.levels, encoded.qp_map, mb_size=self.block))
@@ -56,5 +69,7 @@ class VideoDecoder:
                 raise ValueError("P-frame carries no motion field")
             prediction = motion_compensate(self._reference, encoded.mv, block=self.block)
         frame = np.clip(prediction + residual, 0.0, 255.0).astype(np.float32)
+        if san.enabled:
+            san.check(frame, "decoder/frame", name="decoded frame", dtype=np.float32, block_aligned=True)
         self._reference = frame
         return frame

@@ -18,10 +18,11 @@ Two rate modes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.codec.intra import intra_encode
 from repro.codec.motion import MotionEstimate, estimate_motion, motion_compensate
 from repro.codec.transform import dct_blocks, dequantize, idct_blocks, quantize, transform_cost_bits
@@ -120,13 +121,22 @@ class VideoEncoder:
 
     ``tracer`` instruments the encode pipeline: span ``"encode"`` with
     sub-spans ``me`` / ``mc`` / ``dct`` / ``rate_control`` / ``quant``,
-    plus per-frame bit and QP gauges.  The default no-op tracer costs
+    plus per-frame bit and QP gauges.  ``sanitizer`` validates the input
+    frame, the QP map and the reconstruction at the encode boundary (see
+    :mod:`repro.check.sanitize`).  The default no-op tracer/sanitizer cost
     nothing.
     """
 
-    def __init__(self, config: EncoderConfig | None = None, *, tracer: Tracer | NullTracer = NULL_TRACER):
+    def __init__(
+        self,
+        config: EncoderConfig | None = None,
+        *,
+        tracer: Tracer | NullTracer = NULL_TRACER,
+        sanitizer: ArraySanitizer | NullSanitizer = NULL_SANITIZER,
+    ):
         self.config = config or EncoderConfig()
         self.tracer = tracer
+        self.sanitizer = sanitizer
         self._reference: np.ndarray | None = None
         self._frame_index = 0
 
@@ -170,10 +180,15 @@ class VideoEncoder:
             raise ValueError("specify exactly one of target_bits (CBR) or base_qp (CRF)")
         frame = np.asarray(frame, dtype=np.float32)
         cfg = self.config
+        san = self.sanitizer
+        if san.enabled:
+            san.check(frame, "encoder/input", name="frame", dtype=np.float32, block_aligned=True)
         if frame.shape[0] % cfg.block or frame.shape[1] % cfg.block:
             raise ValueError(f"frame shape {frame.shape} not a multiple of block {cfg.block}")
         mb_shape = (frame.shape[0] // cfg.block, frame.shape[1] // cfg.block)
-        offsets = np.zeros(mb_shape) if qp_offsets is None else np.asarray(qp_offsets, dtype=float)
+        offsets = (
+            np.zeros(mb_shape, dtype=np.float64) if qp_offsets is None else np.asarray(qp_offsets, dtype=np.float64)
+        )
         if offsets.shape != mb_shape:
             raise ValueError(f"qp_offsets shape {offsets.shape} != macroblock grid {mb_shape}")
 
@@ -237,6 +252,14 @@ class VideoEncoder:
                     reconstruction = np.clip(prediction + recon_residual, 0.0, 255.0).astype(np.float32)
 
         total_bits = float(bits_per_mb.sum() + overhead)
+        if san.enabled:
+            san.check(qp_map, "encoder/qp_map", name="QP map", lo=0.0, hi=float(_MAX_QP))
+            if motion is not None:
+                san.check(motion.mv, "encoder/motion", name="motion vectors")
+            san.check(
+                reconstruction, "encoder/reconstruction", name="reconstruction",
+                dtype=np.float32, block_aligned=True, lo=0.0, hi=255.0,
+            )
         if tr.enabled:
             tr.gauge("bits", total_bits)
             tr.gauge("frame_intra", 1.0 if intra else 0.0)

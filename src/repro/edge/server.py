@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.codec.decoder import VideoDecoder
 from repro.codec.encoder import EncodedFrame
 from repro.edge.detector import Detection, QualityAwareDetector
@@ -57,6 +58,10 @@ class EdgeServer:
     tracer:
         Observability hook; decode and detection are timed as spans
         ``"server/decode"`` / ``"server/detect"``.
+    sanitizer:
+        Runtime array validation (see :mod:`repro.check.sanitize`);
+        shared with the internal decoder, so a corrupt upload fails at
+        ``decoder/bitstream`` / ``server/decoded`` with the stage named.
     """
 
     def __init__(
@@ -66,12 +71,14 @@ class EdgeServer:
         inference_latency: float = 0.020,
         downlink_latency: float = 0.010,
         tracer: Tracer | NullTracer = NULL_TRACER,
+        sanitizer: ArraySanitizer | NullSanitizer = NULL_SANITIZER,
     ):
         self.detector = detector or QualityAwareDetector()
         self.inference_latency = float(inference_latency)
         self.downlink_latency = float(downlink_latency)
         self.tracer = tracer
-        self._decoder = VideoDecoder()
+        self.sanitizer = sanitizer
+        self._decoder = VideoDecoder(sanitizer=sanitizer)
 
     def reset(self) -> None:
         """Drop decoder state (new stream / after an intra refresh request)."""
@@ -83,6 +90,11 @@ class EdgeServer:
         with tr.span("server"):
             with tr.span("decode"):
                 decoded = self._decoder.decode(encoded)
+            if self.sanitizer.enabled:
+                self.sanitizer.check(
+                    decoded, "server/decoded", name="decoded frame",
+                    dtype=np.float32, block_aligned=True, lo=0.0, hi=255.0,
+                )
             with tr.span("detect"):
                 detections = self.detector.detect(decoded, record)
         if tr.enabled:
@@ -98,6 +110,8 @@ class EdgeServer:
         """Run inference on an already-decoded image (used by schemes that
         upload regions rather than codec streams)."""
         tr = self.tracer
+        if self.sanitizer.enabled:
+            self.sanitizer.check(image, "server/image", name="uploaded image", block_aligned=True)
         with tr.span("server"):
             with tr.span("detect"):
                 detections = self.detector.detect(image, record)

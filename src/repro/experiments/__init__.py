@@ -43,6 +43,7 @@ from repro.experiments.runner import (
     evaluate_run,
     ground_truth_for,
     run_scheme,
+    sanitizer_for,
     tracer_for,
 )
 from repro.experiments.table1 import DatasetSummary, run_table1
@@ -83,6 +84,7 @@ __all__ = [
     "ScalabilityResult",
     "run_scheme",
     "run_table1",
+    "sanitizer_for",
     "tracer_for",
     "scaled_bandwidth",
 ]

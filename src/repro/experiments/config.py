@@ -56,12 +56,22 @@ class ExperimentConfig:
         default — experiments then run with the shared no-op tracer and
         pay no overhead.  :func:`repro.experiments.runner.tracer_for`
         turns this into a tracer instance.
+    sanitize:
+        Runtime array-sanitizer switch (see :mod:`repro.check.sanitize`).
+        Off by default — runs then use the shared no-op sanitizer and pay
+        nothing.  When on, frame/MV/QP arrays are validated (finite,
+        expected dtype, macroblock-aligned) at agent, encoder, decoder and
+        edge-server stage boundaries;
+        :func:`repro.experiments.runner.sanitizer_for` turns this into a
+        sanitizer instance.  Assert-only: results are bit-identical either
+        way.
     """
 
     n_clips: int = 3
     n_frames: int = 48
     detector_seed: int = 7
     tracing: bool = False
+    sanitize: bool = False
 
 
 def scaled_bandwidth(mbps_label: float, clip: Clip) -> float:

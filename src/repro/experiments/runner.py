@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baselines.base import AnalyticsScheme, SchemeRun
+from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.edge.detector import Detection, QualityAwareDetector
 from repro.edge.evaluation import evaluate_detections
 from repro.edge.server import EdgeServer
@@ -21,6 +22,7 @@ __all__ = [
     "evaluate_run",
     "ground_truth_for",
     "run_scheme",
+    "sanitizer_for",
     "tracer_for",
 ]
 
@@ -75,6 +77,16 @@ def tracer_for(config: ExperimentConfig) -> Tracer | NullTracer:
     return Tracer() if config.tracing else NULL_TRACER
 
 
+def sanitizer_for(config: ExperimentConfig) -> ArraySanitizer | NullSanitizer:
+    """The array sanitizer dictated by a config's ``sanitize`` switch.
+
+    A fresh live :class:`~repro.check.ArraySanitizer` when
+    ``config.sanitize`` is set, the shared no-op sanitizer otherwise — pass
+    the result to :func:`run_scheme`.
+    """
+    return ArraySanitizer() if config.sanitize else NULL_SANITIZER
+
+
 def run_scheme(
     scheme: AnalyticsScheme,
     clip: Clip,
@@ -83,6 +95,7 @@ def run_scheme(
     detector_seed: int = 7,
     ground_truth: list[list[Detection]] | None = None,
     tracer: Tracer | NullTracer | None = None,
+    sanitizer: ArraySanitizer | NullSanitizer | None = None,
 ) -> EvaluationResult:
     """Run one scheme on one clip and evaluate it.
 
@@ -90,8 +103,11 @@ def run_scheme(
     per run so decoder state never leaks between schemes; ground truth can
     be passed in to avoid recomputing it across schemes.  A ``tracer``
     (see :mod:`repro.obs` and :func:`tracer_for`) is threaded through the
-    scheme and the server so the run emits a per-frame trace; when omitted
-    the scheme keeps whatever tracer it already has (the no-op by default).
+    scheme and the server so the run emits a per-frame trace; a
+    ``sanitizer`` (see :mod:`repro.check` and :func:`sanitizer_for`) is
+    threaded the same way so stage boundaries validate their arrays.  When
+    omitted the scheme keeps whatever tracer/sanitizer it already has (the
+    no-ops by default).
     """
     if tracer is not None:
         scheme.use_tracer(tracer)
@@ -99,7 +115,13 @@ def run_scheme(
             tracer.meta.setdefault("runs", []).append(
                 {"scheme": scheme.name, "clip": clip.name, "n_frames": clip.n_frames}
             )
-    server = EdgeServer(QualityAwareDetector(seed=detector_seed), tracer=scheme.tracer)
+    if sanitizer is not None:
+        scheme.use_sanitizer(sanitizer)
+    server = EdgeServer(
+        QualityAwareDetector(seed=detector_seed),
+        tracer=scheme.tracer,
+        sanitizer=scheme.sanitizer,
+    )
     run = scheme.run(clip, trace, server)
     return evaluate_run(run, clip, detector_seed=detector_seed, ground_truth=ground_truth)
 

@@ -194,19 +194,32 @@ class EgoTrajectory:
         dphi = (pose1.pitch - pose0.pitch, pose1.yaw - pose0.yaw, 0.0)
         return (float(delta_cam[0]), float(delta_cam[1]), float(delta_cam[2])), dphi
 
-    def imu_samples(self, *, rng: np.random.Generator | None = None, gyro_noise: float = 0.0):
+    def imu_samples(
+        self,
+        *,
+        rng: np.random.Generator | None = None,
+        seed: int | None = None,
+        gyro_noise: float = 0.0,
+    ):
         """100 Hz gyro ground truth ``(times, pitch_rate, yaw_rate)``.
 
         Mirrors the KITTI IMU stream used to ground-truth the rotation-speed
         estimates in Figs 7 and 10.  Optional Gaussian noise models sensor
-        noise.
+        noise; the noise source must be reproducible, so requesting noise
+        requires either a caller-provided generator (``rng``) or a ``seed``
+        to derive one from.
         """
         times = self._times
         pitch_rates = np.array([self.pitch_rate_at(t) for t in times])
         yaw_rates = self._yaw_rates.copy()
         if gyro_noise > 0.0:
             if rng is None:
-                rng = np.random.default_rng()
+                if seed is None:
+                    raise ValueError(
+                        "imu_samples with gyro_noise > 0 needs a reproducible noise "
+                        "source: pass rng=<Generator> or seed=<int>"
+                    )
+                rng = np.random.default_rng(seed)
             pitch_rates = pitch_rates + rng.normal(0.0, gyro_noise, len(times))
             yaw_rates = yaw_rates + rng.normal(0.0, gyro_noise, len(times))
         return times, pitch_rates, yaw_rates
