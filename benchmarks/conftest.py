@@ -11,21 +11,47 @@ Scale: the default configurations below are sized so the whole suite
 finishes in tens of minutes on a laptop.  The paper-scale run (50/8 clips,
 20 s each) uses the same entry points with a larger
 :class:`~repro.experiments.ExperimentConfig`.
+
+pytest-benchmark is optional: without the plugin, ``bench_once`` degrades
+to a plain call-once fixture, so the suite still runs (and still prints
+its tables) — it just loses the timing statistics.  Wall-clock/memory
+measurement proper lives in :mod:`repro.bench` (``repro bench``), which
+has no pytest dependency at all.
 """
 
 import pytest
 
 from repro.experiments import ExperimentConfig
 
+try:
+    import pytest_benchmark  # noqa: F401
 
-@pytest.fixture
-def bench_once(benchmark):
-    """Run a callable exactly once under pytest-benchmark."""
+    _HAVE_PYTEST_BENCHMARK = True
+except ImportError:
+    _HAVE_PYTEST_BENCHMARK = False
 
-    def run(func, *args, **kwargs):
-        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
-    return run
+if _HAVE_PYTEST_BENCHMARK:
+
+    @pytest.fixture
+    def bench_once(benchmark):
+        """Run a callable exactly once under pytest-benchmark."""
+
+        def run(func, *args, **kwargs):
+            return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+        return run
+
+else:
+
+    @pytest.fixture
+    def bench_once():
+        """Plain call-once fallback when pytest-benchmark is not installed."""
+
+        def run(func, *args, **kwargs):
+            return func(*args, **kwargs)
+
+        return run
 
 
 #: Benchmark-scale experiment configurations, per figure.

@@ -82,10 +82,14 @@ class DDSScheme(AnalyticsScheme):
         lat = cfg.latency
         fps = clip.fps
         search_range = self.search_range_for(clip)
-        encoder = VideoEncoder(EncoderConfig(me_method=cfg.me_method, search_range=search_range))
+        encoder = VideoEncoder(
+            EncoderConfig(me_method=cfg.me_method, search_range=search_range),
+            tracer=self.tracer,
+            sanitizer=self.sanitizer,
+        )
         tracker = MotionVectorTracker()
         estimator = BandwidthEstimator(window=1.0, initial_bps=trace.rate_at(0.0))
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout)
+        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=self.tracer)
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
         block = encoder.config.block
         grid_shape = (clip.intrinsics.height // block, clip.intrinsics.width // block)
@@ -94,120 +98,124 @@ class DDSScheme(AnalyticsScheme):
         prev_raw = None
 
         for i in range(clip.n_frames):
-            record = clip.frame(i)
-            t_cap = record.time
-            frame = record.image
-            motion = None
-            if prev_raw is not None:
-                motion = estimate_motion(frame, prev_raw, method=cfg.me_method, search_range=search_range)
-            prev_raw = frame
+            with self.tracer.frame(i):
+                record = clip.frame(i)
+                t_cap = record.time
+                frame = record.image
+                motion = None
+                if prev_raw is not None:
+                    motion = estimate_motion(
+                        frame, prev_raw, method=cfg.me_method,
+                        search_range=search_range, tracer=self.tracer,
+                    )
+                prev_raw = frame
 
-            # ---- Pass 1: low-quality full frame -------------------------
-            bandwidth = estimator.estimate(t_cap)
-            budget = max(bandwidth / fps * cfg.bandwidth_safety, 2048.0)
-            encoded = encoder.encode(
-                frame,
-                target_bits=budget * cfg.low_fraction,
-                force_intra=force_intra,
-            )
-            force_intra = False
-            enqueue_time = t_cap + lat.encode
-            skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
-            tx1 = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
-            if tx1 is None or tx1.dropped:
-                if tx1 is not None:
-                    estimator.record_outage(tx1.start_time + cfg.hol_timeout)
-                force_intra = True
-                needs_server_reset = True
-                detections = tracker.track(motion.mv) if motion is not None else tracker.detections
-                self._finish_frame(
-                    run,
-                    FrameResult(
-                        index=i,
-                        capture_time=t_cap,
-                        detections=detections,
-                        response_time=lat.encode + lat.track,
-                        source="tracked",
-                        dropped=True,
-                    )
+                # ---- Pass 1: low-quality full frame -------------------------
+                bandwidth = estimator.estimate(t_cap)
+                budget = max(bandwidth / fps * cfg.bandwidth_safety, 2048.0)
+                encoded = encoder.encode(
+                    frame,
+                    target_bits=budget * cfg.low_fraction,
+                    force_intra=force_intra,
                 )
-                continue
-            if needs_server_reset:
-                server.reset()
-                needs_server_reset = False
-            low_result = server.process(encoded, record, arrival_time=tx1.finish_time)
-            estimator.record_ack(tx1.start_time, tx1.finish_time, encoded.size_bytes)
+                force_intra = False
+                enqueue_time = t_cap + lat.encode
+                skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
+                tx1 = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
+                if tx1 is None or tx1.dropped:
+                    if tx1 is not None:
+                        estimator.record_outage(tx1.start_time + cfg.hol_timeout)
+                    force_intra = True
+                    needs_server_reset = True
+                    detections = tracker.track(motion.mv) if motion is not None else tracker.detections
+                    self._finish_frame(
+                        run,
+                        FrameResult(
+                            index=i,
+                            capture_time=t_cap,
+                            detections=detections,
+                            response_time=lat.encode + lat.track,
+                            source="tracked",
+                            dropped=True,
+                        )
+                    )
+                    continue
+                if needs_server_reset:
+                    server.reset()
+                    needs_server_reset = False
+                low_result = server.process(encoded, record, arrival_time=tx1.finish_time)
+                estimator.record_ack(tx1.start_time, tx1.finish_time, encoded.size_bytes)
 
-            # ---- Feedback + pass 2: high-quality regions ----------------
-            feedback_time = low_result.result_time + lat.feedback_processing
-            region_mask = self._region_mask(low_result.detections, grid_shape, block)
-            if not region_mask.any():
-                # Nothing to re-upload; the low-quality result is final.
-                tracker.update(low_result.detections)
+                # ---- Feedback + pass 2: high-quality regions ----------------
+                feedback_time = low_result.result_time + lat.feedback_processing
+                region_mask = self._region_mask(low_result.detections, grid_shape, block)
+                if not region_mask.any():
+                    # Nothing to re-upload; the low-quality result is final.
+                    tracker.update(low_result.detections)
+                    self._finish_frame(
+                        run,
+                        FrameResult(
+                            index=i,
+                            capture_time=t_cap,
+                            detections=low_result.detections,
+                            response_time=low_result.result_time - t_cap,
+                            source="edge",
+                            bytes_sent=encoded.size_bytes,
+                        )
+                    )
+                    continue
+                # Bandwidth compliance: raise the region QP along a ladder, and
+                # if even the coarsest QP overshoots, trim the region set to the
+                # highest-confidence detections until the upgrade fits.
+                region_budget = max(budget * (1.0 - cfg.low_fraction), 1024.0)
+                bits, updated = encode_region_update(
+                    encoded.reconstruction, frame, region_mask, qp=cfg.region_qp, block=block
+                )
+                max_qp = cfg.region_qp + 24
+                for qp in (cfg.region_qp + 6, cfg.region_qp + 12, cfg.region_qp + 18, max_qp):
+                    if bits <= region_budget:
+                        break
+                    bits, updated = encode_region_update(
+                        encoded.reconstruction, frame, region_mask, qp=qp, block=block
+                    )
+                ranked = sorted(low_result.detections, key=lambda d: -d.confidence)
+                keep = len(ranked)
+                while bits > region_budget and keep > 1:
+                    keep = max(1, keep // 2)
+                    region_mask = self._region_mask(ranked[:keep], grid_shape, block)
+                    bits, updated = encode_region_update(
+                        encoded.reconstruction, frame, region_mask, qp=max_qp, block=block
+                    )
+                region_bytes = int(np.ceil(bits / 8.0))
+                tx2 = uplink.transmit(i, region_bytes, feedback_time + lat.region_encode)
+                if tx2.dropped:
+                    # Second pass lost: fall back to the low-quality result.
+                    tracker.update(low_result.detections)
+                    self._finish_frame(
+                        run,
+                        FrameResult(
+                            index=i,
+                            capture_time=t_cap,
+                            detections=low_result.detections,
+                            response_time=low_result.result_time - t_cap,
+                            source="edge",
+                            bytes_sent=encoded.size_bytes,
+                            dropped=True,
+                        )
+                    )
+                    continue
+                final = server.process_image(updated, record, arrival_time=tx2.finish_time)
+                estimator.record_ack(tx2.start_time, tx2.finish_time, region_bytes)
+                tracker.update(final.detections)
                 self._finish_frame(
                     run,
                     FrameResult(
                         index=i,
                         capture_time=t_cap,
-                        detections=low_result.detections,
-                        response_time=low_result.result_time - t_cap,
+                        detections=final.detections,
+                        response_time=final.result_time - t_cap,
                         source="edge",
-                        bytes_sent=encoded.size_bytes,
+                        bytes_sent=encoded.size_bytes + region_bytes,
                     )
                 )
-                continue
-            # Bandwidth compliance: raise the region QP along a ladder, and
-            # if even the coarsest QP overshoots, trim the region set to the
-            # highest-confidence detections until the upgrade fits.
-            region_budget = max(budget * (1.0 - cfg.low_fraction), 1024.0)
-            bits, updated = encode_region_update(
-                encoded.reconstruction, frame, region_mask, qp=cfg.region_qp, block=block
-            )
-            max_qp = cfg.region_qp + 24
-            for qp in (cfg.region_qp + 6, cfg.region_qp + 12, cfg.region_qp + 18, max_qp):
-                if bits <= region_budget:
-                    break
-                bits, updated = encode_region_update(
-                    encoded.reconstruction, frame, region_mask, qp=qp, block=block
-                )
-            ranked = sorted(low_result.detections, key=lambda d: -d.confidence)
-            keep = len(ranked)
-            while bits > region_budget and keep > 1:
-                keep = max(1, keep // 2)
-                region_mask = self._region_mask(ranked[:keep], grid_shape, block)
-                bits, updated = encode_region_update(
-                    encoded.reconstruction, frame, region_mask, qp=max_qp, block=block
-                )
-            region_bytes = int(np.ceil(bits / 8.0))
-            tx2 = uplink.transmit(i, region_bytes, feedback_time + lat.region_encode)
-            if tx2.dropped:
-                # Second pass lost: fall back to the low-quality result.
-                tracker.update(low_result.detections)
-                self._finish_frame(
-                    run,
-                    FrameResult(
-                        index=i,
-                        capture_time=t_cap,
-                        detections=low_result.detections,
-                        response_time=low_result.result_time - t_cap,
-                        source="edge",
-                        bytes_sent=encoded.size_bytes,
-                        dropped=True,
-                    )
-                )
-                continue
-            final = server.process_image(updated, record, arrival_time=tx2.finish_time)
-            estimator.record_ack(tx2.start_time, tx2.finish_time, region_bytes)
-            tracker.update(final.detections)
-            self._finish_frame(
-                run,
-                FrameResult(
-                    index=i,
-                    capture_time=t_cap,
-                    detections=final.detections,
-                    response_time=final.result_time - t_cap,
-                    source="edge",
-                    bytes_sent=encoded.size_bytes + region_bytes,
-                )
-            )
         return run

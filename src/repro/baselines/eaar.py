@@ -65,9 +65,13 @@ class EAARScheme(AnalyticsScheme):
         cfg = self.config
         lat = cfg.latency
         search_range = self.search_range_for(clip)
-        encoder = VideoEncoder(EncoderConfig(me_method=cfg.me_method, search_range=search_range))
+        encoder = VideoEncoder(
+            EncoderConfig(me_method=cfg.me_method, search_range=search_range),
+            tracer=self.tracer,
+            sanitizer=self.sanitizer,
+        )
         tracker = MotionVectorTracker()
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout)
+        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=self.tracer)
         pending = PendingResults()
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
         prev_raw = None
@@ -76,67 +80,71 @@ class EAARScheme(AnalyticsScheme):
         grid_shape = (clip.intrinsics.height // block, clip.intrinsics.width // block)
 
         for i in range(clip.n_frames):
-            record = clip.frame(i)
-            t_cap = record.time
-            frame = record.image
-            for _, _, detections in pending.due(t_cap):
-                tracker.update(detections)
-                cached = detections
+            with self.tracer.frame(i):
+                record = clip.frame(i)
+                t_cap = record.time
+                frame = record.image
+                for _, _, detections in pending.due(t_cap):
+                    tracker.update(detections)
+                    cached = detections
 
-            motion = None
-            if prev_raw is not None:
-                motion = estimate_motion(frame, prev_raw, method=cfg.me_method, search_range=search_range)
-            prev_raw = frame
+                motion = None
+                if prev_raw is not None:
+                    motion = estimate_motion(
+                        frame, prev_raw, method=cfg.me_method,
+                        search_range=search_range, tracer=self.tracer,
+                    )
+                prev_raw = frame
 
-            if i % cfg.key_interval == 0:
-                offsets = self._roi_offsets(cached, grid_shape, block)
-                encoded = encoder.encode(
-                    frame, base_qp=cfg.roi_qp, qp_offsets=offsets, force_intra=True
-                )
-                enqueue_time = t_cap + lat.encode
-                skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
-                tx = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
-                if tx is None or tx.dropped:
-                    detections = tracker.track(motion.mv) if motion is not None else tracker.detections
+                if i % cfg.key_interval == 0:
+                    offsets = self._roi_offsets(cached, grid_shape, block)
+                    encoded = encoder.encode(
+                        frame, base_qp=cfg.roi_qp, qp_offsets=offsets, force_intra=True
+                    )
+                    enqueue_time = t_cap + lat.encode
+                    skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
+                    tx = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
+                    if tx is None or tx.dropped:
+                        detections = tracker.track(motion.mv) if motion is not None else tracker.detections
+                        self._finish_frame(
+                            run,
+                            FrameResult(
+                                index=i,
+                                capture_time=t_cap,
+                                detections=detections,
+                                response_time=lat.encode + lat.track,
+                                source="tracked",
+                                dropped=True,
+                            )
+                        )
+                        continue
+                    server.reset()
+                    result = server.process(encoded, record, arrival_time=tx.finish_time)
+                    pending.add(result.result_time, i, result.detections)
+                    self._finish_frame(
+                        run,
+                        FrameResult(
+                            index=i,
+                            capture_time=t_cap,
+                            detections=result.detections,
+                            response_time=result.result_time - t_cap,
+                            source="edge",
+                            bytes_sent=encoded.size_bytes,
+                        )
+                    )
+                else:
+                    if motion is not None:
+                        detections = tracker.track(motion.mv)
+                    else:
+                        detections = tracker.detections
                     self._finish_frame(
                         run,
                         FrameResult(
                             index=i,
                             capture_time=t_cap,
                             detections=detections,
-                            response_time=lat.encode + lat.track,
+                            response_time=lat.motion_analysis + lat.track,
                             source="tracked",
-                            dropped=True,
                         )
                     )
-                    continue
-                server.reset()
-                result = server.process(encoded, record, arrival_time=tx.finish_time)
-                pending.add(result.result_time, i, result.detections)
-                self._finish_frame(
-                    run,
-                    FrameResult(
-                        index=i,
-                        capture_time=t_cap,
-                        detections=result.detections,
-                        response_time=result.result_time - t_cap,
-                        source="edge",
-                        bytes_sent=encoded.size_bytes,
-                    )
-                )
-            else:
-                if motion is not None:
-                    detections = tracker.track(motion.mv)
-                else:
-                    detections = tracker.detections
-                self._finish_frame(
-                    run,
-                    FrameResult(
-                        index=i,
-                        capture_time=t_cap,
-                        detections=detections,
-                        response_time=lat.motion_analysis + lat.track,
-                        source="tracked",
-                    )
-                )
         return run

@@ -58,84 +58,92 @@ class O3Scheme(AnalyticsScheme):
         lat = cfg.latency
         fps = clip.fps
         search_range = self.search_range_for(clip)
-        encoder = VideoEncoder(EncoderConfig(me_method=cfg.me_method, search_range=search_range))
+        encoder = VideoEncoder(
+            EncoderConfig(me_method=cfg.me_method, search_range=search_range),
+            tracer=self.tracer,
+            sanitizer=self.sanitizer,
+        )
         tracker = MotionVectorTracker()
         estimator = BandwidthEstimator(window=1.0, initial_bps=trace.rate_at(0.0))
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout)
+        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=self.tracer)
         pending = PendingResults()
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
         prev_raw = None
 
         for i in range(clip.n_frames):
-            record = clip.frame(i)
-            t_cap = record.time
-            frame = record.image
+            with self.tracer.frame(i):
+                record = clip.frame(i)
+                t_cap = record.time
+                frame = record.image
 
-            # Ingest key-frame results that have reached the agent by now;
-            # they correct (replace) the tracking state.
-            for _, _, detections in pending.due(t_cap):
-                tracker.update(detections)
+                # Ingest key-frame results that have reached the agent by now;
+                # they correct (replace) the tracking state.
+                for _, _, detections in pending.due(t_cap):
+                    tracker.update(detections)
 
-            motion = None
-            if prev_raw is not None:
-                motion = estimate_motion(frame, prev_raw, method=cfg.me_method, search_range=search_range)
-            prev_raw = frame
+                motion = None
+                if prev_raw is not None:
+                    motion = estimate_motion(
+                        frame, prev_raw, method=cfg.me_method,
+                        search_range=search_range, tracer=self.tracer,
+                    )
+                prev_raw = frame
 
-            if i % cfg.key_interval == 0:
-                # Key frame: intra-coded upload at the interval's bandwidth
-                # budget.
-                bandwidth = estimator.estimate(t_cap)
-                target_bits = max(bandwidth * cfg.key_interval / fps * cfg.bandwidth_safety, 2048.0)
-                encoded = encoder.encode(frame, target_bits=target_bits, force_intra=True)
-                enqueue_time = t_cap + lat.encode
-                skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
-                tx = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
-                if tx is None or tx.dropped:
-                    if tx is not None:
-                        estimator.record_outage(tx.start_time + cfg.hol_timeout)
-                    detections = tracker.track(motion.mv) if motion is not None else tracker.detections
+                if i % cfg.key_interval == 0:
+                    # Key frame: intra-coded upload at the interval's bandwidth
+                    # budget.
+                    bandwidth = estimator.estimate(t_cap)
+                    target_bits = max(bandwidth * cfg.key_interval / fps * cfg.bandwidth_safety, 2048.0)
+                    encoded = encoder.encode(frame, target_bits=target_bits, force_intra=True)
+                    enqueue_time = t_cap + lat.encode
+                    skip_stale = uplink.queue_wait(enqueue_time) > cfg.hol_timeout
+                    tx = None if skip_stale else uplink.transmit(i, encoded.size_bytes, enqueue_time)
+                    if tx is None or tx.dropped:
+                        if tx is not None:
+                            estimator.record_outage(tx.start_time + cfg.hol_timeout)
+                        detections = tracker.track(motion.mv) if motion is not None else tracker.detections
+                        self._finish_frame(
+                            run,
+                            FrameResult(
+                                index=i,
+                                capture_time=t_cap,
+                                detections=detections,
+                                response_time=lat.encode + lat.track,
+                                source="tracked",
+                                dropped=True,
+                            )
+                        )
+                        continue
+                    server.reset()  # key frames are self-contained
+                    result = server.process(encoded, record, arrival_time=tx.finish_time)
+                    estimator.record_ack(tx.start_time, tx.finish_time, encoded.size_bytes)
+                    pending.add(result.result_time, i, result.detections)
+                    self._finish_frame(
+                        run,
+                        FrameResult(
+                            index=i,
+                            capture_time=t_cap,
+                            detections=result.detections,
+                            response_time=result.result_time - t_cap,
+                            source="edge",
+                            bytes_sent=encoded.size_bytes,
+                        )
+                    )
+                else:
+                    if motion is not None:
+                        detections = tracker.track(motion.mv)
+                        source = "tracked" if detections or tracker.frames_since_update else "none"
+                    else:
+                        detections = tracker.detections
+                        source = "cached"
                     self._finish_frame(
                         run,
                         FrameResult(
                             index=i,
                             capture_time=t_cap,
                             detections=detections,
-                            response_time=lat.encode + lat.track,
-                            source="tracked",
-                            dropped=True,
+                            response_time=lat.motion_analysis + lat.track,
+                            source=source,
                         )
                     )
-                    continue
-                server.reset()  # key frames are self-contained
-                result = server.process(encoded, record, arrival_time=tx.finish_time)
-                estimator.record_ack(tx.start_time, tx.finish_time, encoded.size_bytes)
-                pending.add(result.result_time, i, result.detections)
-                self._finish_frame(
-                    run,
-                    FrameResult(
-                        index=i,
-                        capture_time=t_cap,
-                        detections=result.detections,
-                        response_time=result.result_time - t_cap,
-                        source="edge",
-                        bytes_sent=encoded.size_bytes,
-                    )
-                )
-            else:
-                if motion is not None:
-                    detections = tracker.track(motion.mv)
-                    source = "tracked" if detections or tracker.frames_since_update else "none"
-                else:
-                    detections = tracker.detections
-                    source = "cached"
-                self._finish_frame(
-                    run,
-                    FrameResult(
-                        index=i,
-                        capture_time=t_cap,
-                        detections=detections,
-                        response_time=lat.motion_analysis + lat.track,
-                        source=source,
-                    )
-                )
         return run

@@ -1,0 +1,62 @@
+"""Deterministic perf/memory benchmark harness (``repro bench``).
+
+The measurement substrate the ROADMAP's "as fast as the hardware allows"
+goal needs: a registry of micro benchmarks (ME search per method, DCT+quant
+round trip, foreground clustering, RANSAC rotation fit) and macro
+benchmarks (the per-frame DiVE pipeline and each baseline on a seeded
+``repro.world`` scene, traced per stage), measured with warmup/repeat
+wall-clock (:func:`~repro.bench.measure.measure`) and tracemalloc peak
+memory, serialised to schema-versioned ``BENCH_*.json`` documents, and
+compared across runs with noise-tolerant regression classification
+(:func:`~repro.bench.compare.compare_docs`).
+
+CLI: ``repro bench [--suite micro|macro|all] [--out PATH]
+[--compare BASELINE --fail-on-regress] [--format text|json]`` and
+``repro report --bench BENCH.json --trace trace.jsonl``.  See the
+"Benchmarking & regression tracking" sections of README.md / API.md.
+"""
+
+from repro.bench.compare import (
+    DEFAULT_TOLERANCES,
+    Comparison,
+    MetricDelta,
+    SchemaMismatchError,
+    compare_docs,
+    render_comparison,
+)
+from repro.bench.measure import Measurement, measure
+from repro.bench.registry import SUITES, BenchCase, Benchmark, all_benchmarks, benchmark
+from repro.bench.report import render_bench_json, render_bench_text, run_report
+from repro.bench.runner import (
+    SCHEMA_VERSION,
+    host_fingerprint,
+    load_doc,
+    run_benchmark,
+    run_suite,
+    write_doc,
+)
+
+__all__ = [
+    "BenchCase",
+    "Benchmark",
+    "Comparison",
+    "DEFAULT_TOLERANCES",
+    "Measurement",
+    "MetricDelta",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "SchemaMismatchError",
+    "all_benchmarks",
+    "benchmark",
+    "compare_docs",
+    "host_fingerprint",
+    "load_doc",
+    "measure",
+    "render_bench_json",
+    "render_bench_text",
+    "render_comparison",
+    "run_benchmark",
+    "run_report",
+    "run_suite",
+    "write_doc",
+]

@@ -1,0 +1,123 @@
+"""Wall-clock and peak-memory measurement of one callable.
+
+One :func:`measure` call runs a benchmark callable through a fixed
+schedule — ``warmup`` discarded calls, ``repeats`` timed calls
+(``time.perf_counter``), then one extra call under :mod:`tracemalloc` for
+the peak python-allocation footprint.  The memory pass is deliberately
+*outside* the timed repeats: tracemalloc slows allocation-heavy numpy code
+by an order of magnitude, and mixing it into the timing would corrupt the
+very numbers the harness exists to track.
+
+Measurement never touches the system under test: the callable is invoked
+as-is, results are discarded, and no global state is changed beyond
+starting/stopping tracemalloc around the dedicated memory pass.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Measurement", "measure"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Timing distribution and peak memory of one benchmark.
+
+    ``times_s`` holds one wall-clock figure per timed repeat (warmup calls
+    are discarded); ``peak_bytes`` is the tracemalloc high-water mark of
+    the separate memory pass (``0`` when the pass was skipped).
+    """
+
+    times_s: tuple[float, ...]
+    peak_bytes: int
+    warmup: int
+
+    @property
+    def repeats(self) -> int:
+        return len(self.times_s)
+
+    @property
+    def min_s(self) -> float:
+        return float(min(self.times_s))
+
+    @property
+    def median_s(self) -> float:
+        return float(np.median(self.times_s))
+
+    @property
+    def p95_s(self) -> float:
+        return float(np.percentile(self.times_s, 95))
+
+    @property
+    def mean_s(self) -> float:
+        return float(np.mean(self.times_s))
+
+    @property
+    def total_s(self) -> float:
+        return float(sum(self.times_s))
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "warmup": self.warmup,
+            "repeats": self.repeats,
+            "times_s": list(self.times_s),
+            "timing_s": {
+                "min": self.min_s,
+                "median": self.median_s,
+                "p95": self.p95_s,
+                "mean": self.mean_s,
+                "total": self.total_s,
+            },
+            "memory": {"peak_bytes": self.peak_bytes},
+        }
+
+
+def measure(
+    fn: Callable[[], Any],
+    *,
+    warmup: int = 1,
+    repeats: int = 3,
+    trace_memory: bool = True,
+) -> Measurement:
+    """Measure ``fn`` under the warmup/repeat/memory schedule.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable performing one benchmark iteration.  It must
+        be safe to call repeatedly (build fresh state per call or operate
+        on read-only inputs).
+    warmup:
+        Untimed leading calls (page-in, allocator pools, BLAS thread spin-up).
+    repeats:
+        Timed calls; at least 1.
+    trace_memory:
+        Run the extra tracemalloc pass.  Disable for callables too slow to
+        afford one more invocation.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    peak = 0
+    if trace_memory:
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    return Measurement(times_s=tuple(times), peak_bytes=int(peak), warmup=warmup)

@@ -1,0 +1,143 @@
+"""Rendering: bench results as text/JSON, and the unified run report.
+
+The run report is the artefact a perf PR quotes as its before/after story:
+one markdown (or plain-text) document joining a ``BENCH_*.json`` with a
+``repro trace`` JSONL — benchmark timings and throughput, per-stage span
+latency, per-frame counters and peak memory, all in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Sequence
+
+from repro.obs.aggregate import counter_rows, span_rows, summarize
+from repro.obs.tracer import FrameTrace
+
+__all__ = ["render_bench_json", "render_bench_text", "run_report"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _bench_rows(doc: Mapping[str, Any]) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for entry in doc.get("benchmarks", []):
+        timing = entry.get("timing_s", {})
+        throughput = entry.get("throughput", {})
+        fps = throughput.get("frames_per_s")
+        rows.append(
+            [
+                entry["name"],
+                entry.get("suite", "?"),
+                timing.get("median", 0.0) * 1e3,
+                timing.get("p95", 0.0) * 1e3,
+                entry.get("memory", {}).get("peak_bytes", 0) / 1e3,
+                "-" if fps is None else f"{fps:.3g}",
+                "-" if "macroblocks_per_s" not in throughput else f"{throughput['macroblocks_per_s']:.4g}",
+            ]
+        )
+    return rows
+
+
+_BENCH_HEADERS = ["benchmark", "suite", "median ms", "p95 ms", "peak kB", "frames/s", "MB/s"]
+
+
+def render_bench_text(doc: Mapping[str, Any]) -> str:
+    """One text table per document, plus the host/config echo."""
+    from repro.experiments.reporting import format_table
+
+    host = doc.get("host", {})
+    lines = [
+        f"suite={doc.get('suite')}  schema=v{doc.get('schema')}  "
+        f"python={host.get('python')}  numpy={host.get('numpy')}  {host.get('machine', '')}".rstrip(),
+        "",
+        format_table(_BENCH_HEADERS, _bench_rows(doc), title="repro.bench results (MB/s = macroblocks/s)"),
+    ]
+    return "\n".join(lines)
+
+
+def render_bench_json(doc: Mapping[str, Any]) -> str:
+    """The document as stable JSON (what ``--format json`` prints)."""
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |", "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def run_report(
+    doc: Mapping[str, Any] | None,
+    trace_meta: Mapping[str, Any] | None = None,
+    trace_frames: Sequence[FrameTrace] | None = None,
+    *,
+    fmt: str = "markdown",
+) -> str:
+    """Join a bench document and a frame trace into one run report.
+
+    Either input may be omitted (``None`` / empty): the report renders the
+    sections it has data for.  ``fmt`` is ``"markdown"`` (pipe tables) or
+    ``"text"`` (the aligned tables every CLI command prints).
+    """
+    if fmt not in ("markdown", "text"):
+        raise ValueError(f"fmt must be 'markdown' or 'text', got {fmt!r}")
+    from repro.experiments.reporting import format_table
+
+    def table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str) -> list[str]:
+        if fmt == "markdown":
+            return [f"## {title}", "", _md_table(headers, rows), ""]
+        return [format_table(headers, rows, title=title), ""]
+
+    lines: list[str] = ["# Run report" if fmt == "markdown" else "=== Run report ===", ""]
+    if doc:
+        host = doc.get("host", {})
+        lines.append(
+            f"bench suite `{doc.get('suite')}` (schema v{doc.get('schema')}), "
+            f"python {host.get('python')}, numpy {host.get('numpy')}, "
+            f"{host.get('machine', 'unknown machine')}, created {doc.get('created')}"
+        )
+        lines.append("")
+        lines.extend(table(_BENCH_HEADERS, _bench_rows(doc), "Benchmarks"))
+        span_agg: list[list[object]] = []
+        for entry in doc.get("benchmarks", []):
+            for path, stats in entry.get("spans_ms", {}).items():
+                span_agg.append(
+                    [f"{entry['name']}:{path}", stats["count"], stats["mean"], stats["p50"], stats["p95"]]
+                )
+        if span_agg:
+            lines.extend(
+                table(
+                    ["benchmark:stage", "frames", "mean ms", "p50 ms", "p95 ms"],
+                    span_agg,
+                    "Per-stage latency (macro benchmarks)",
+                )
+            )
+    if trace_frames:
+        summary = summarize(list(trace_frames))
+        meta = dict(trace_meta or {})
+        label = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()) if not isinstance(v, (list, dict)))
+        lines.append(f"trace: {summary.n_frames} frames" + (f" ({label})" if label else ""))
+        lines.append("")
+        lines.extend(
+            table(
+                ["stage", "frames", "mean ms", "p50 ms", "p95 ms", "total ms"],
+                span_rows(summary),
+                "Traced per-stage latency",
+            )
+        )
+        lines.extend(
+            table(
+                ["counter", "frames", "mean", "p50", "p95", "total"],
+                counter_rows(summary),
+                "Traced counters",
+            )
+        )
+    if not doc and not trace_frames:
+        lines.append("(nothing to report: no bench document and no trace frames)")
+    return "\n".join(lines).rstrip() + "\n"

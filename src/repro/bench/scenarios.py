@@ -1,0 +1,210 @@
+"""The built-in benchmark set.
+
+Micro benchmarks isolate the hot paths every DiVE latency claim rests on
+(the paper's Fig 9 is literally "ME milliseconds per frame at a given
+mAP"):
+
+- ``me/<method>`` — block-matching motion estimation per search method
+  (:func:`repro.codec.motion.estimate_motion`) on two rendered frames of a
+  seeded clip.  ESA/TESA use :attr:`BenchScale.exhaustive_search_range`
+  so the exhaustive searches stay in budget.
+- ``codec/dct_quant_roundtrip`` — 8x8 DCT → quantise → bit accounting →
+  dequantise → inverse DCT on a real inter-frame residual.
+- ``core/foreground_cluster`` — region growing, cluster merging and convex
+  rasterisation on a synthetic translational field with planted objects.
+- ``core/ransac_rotation`` — R-sampling + RANSAC rotation fit on a
+  synthetic rotational+translational field.
+
+Macro benchmarks run a whole per-frame pipeline (DiVE and each baseline)
+on a small seeded ``repro.world`` scene with a live tracer attached, so
+each result embeds the per-stage span breakdown the ``repro report``
+command renders.
+
+Every input is derived from :class:`BenchScale.seed` — the *work* two runs
+perform at the same scale is bit-identical; only wall-clock differs.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import numpy as np
+
+from repro.bench.registry import BenchCase, benchmark
+from repro.codec.motion import ME_METHODS, estimate_motion
+from repro.codec.transform import dct_blocks, dequantize, idct_blocks, quantize, transform_cost_bits
+from repro.core.clustering import clusters_to_mask, merge_clusters, region_grow
+from repro.core.grid import block_centers
+from repro.core.rotation import estimate_rotation
+from repro.experiments.config import BenchScale, ExperimentConfig, scaled_bandwidth
+from repro.geometry.camera import CameraIntrinsics
+from repro.geometry.flow import rotational_flow
+from repro.obs.tracer import Tracer
+
+_BLOCK = 16
+
+
+def _micro_frames(scale: BenchScale) -> tuple[np.ndarray, np.ndarray]:
+    """Two consecutive rendered frames at the micro-benchmark resolution."""
+    from repro.world import nuscenes_like
+
+    clip = nuscenes_like(scale.seed, n_frames=2, resolution=(scale.frame_width, scale.frame_height))
+    return clip.frame(1).image, clip.frame(0).image
+
+
+# -- motion estimation ------------------------------------------------------
+
+
+def _build_me(method: str, scale: BenchScale) -> BenchCase:
+    current, reference = _micro_frames(scale)
+    search_range = scale.exhaustive_search_range if method in ("esa", "tesa") else 16
+    blocks = (current.shape[0] // _BLOCK) * (current.shape[1] // _BLOCK)
+
+    def fn() -> object:
+        return estimate_motion(current, reference, method=method, search_range=search_range)
+
+    return BenchCase(fn=fn, work={"frames": 1.0, "macroblocks": float(blocks)})
+
+
+for _method in ME_METHODS:
+    benchmark(f"me/{_method}", suite="micro", group="me")(partial(_build_me, _method))
+
+
+# -- transform coding -------------------------------------------------------
+
+
+@benchmark("codec/dct_quant_roundtrip", suite="micro", group="codec")
+def _build_dct_quant(scale: BenchScale) -> BenchCase:
+    current, reference = _micro_frames(scale)
+    residual = current.astype(np.float64) - reference.astype(np.float64)
+    rows, cols = residual.shape[0] // _BLOCK, residual.shape[1] // _BLOCK
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    qp_map = (28.0 + 8.0 * ((r + c) % 3)).astype(np.float64)
+
+    def fn() -> float:
+        coeffs = dct_blocks(residual)
+        levels = quantize(coeffs, qp_map, mb_size=_BLOCK)
+        bits = float(transform_cost_bits(levels, mb_size=_BLOCK).sum())
+        idct_blocks(dequantize(levels, qp_map, mb_size=_BLOCK))
+        return bits
+
+    return BenchCase(
+        fn=fn,
+        work={
+            "frames": 1.0,
+            "macroblocks": float(rows * cols),
+            "encoded_kbit": fn() / 1e3,
+        },
+    )
+
+
+# -- foreground clustering --------------------------------------------------
+
+
+def _cluster_inputs(scale: BenchScale) -> tuple[np.ndarray, np.ndarray]:
+    """A translational field with planted coherent objects, plus seeds."""
+    rows, cols = scale.cluster_grid
+    intrinsics = CameraIntrinsics(focal=1.2 * cols * _BLOCK, width=cols * _BLOCK, height=rows * _BLOCK)
+    x, y = block_centers((rows, cols), intrinsics, block=_BLOCK)
+    rng = np.random.default_rng(scale.seed)
+    mv = np.empty((rows, cols, 2), dtype=np.float64)
+    # Radial background flow away from the FOE (forward ego translation).
+    mv[..., 0] = 0.004 * x
+    mv[..., 1] = 0.004 * y
+    mv += rng.normal(scale=0.05, size=mv.shape)
+    seed_mask = np.zeros((rows, cols), dtype=bool)
+    # Planted objects: coherent patches whose MVs break the radial pattern.
+    objects = (
+        ((rows // 3, rows // 3 + max(rows // 6, 2)), (cols // 5, cols // 5 + max(cols // 8, 2)), (2.5, 0.6)),
+        ((rows // 2, rows // 2 + max(rows // 5, 2)), (cols // 2, cols // 2 + max(cols // 6, 2)), (-1.8, 0.9)),
+        ((2 * rows // 3, 2 * rows // 3 + max(rows // 7, 2)), ((3 * cols) // 4, (3 * cols) // 4 + max(cols // 10, 2)), (1.2, -1.4)),
+    )
+    for (r0, r1), (c0, c1), (dx, dy) in objects:
+        mv[r0:r1, c0:c1, 0] = dx + rng.normal(scale=0.1, size=(r1 - r0, c1 - c0))
+        mv[r0:r1, c0:c1, 1] = dy + rng.normal(scale=0.1, size=(r1 - r0, c1 - c0))
+        seed_mask[r0:r1, c0:c1] = True
+    return mv, seed_mask
+
+
+@benchmark("core/foreground_cluster", suite="micro", group="core")
+def _build_cluster(scale: BenchScale) -> BenchCase:
+    mv, seed_mask = _cluster_inputs(scale)
+    rows, cols = mv.shape[:2]
+
+    def fn() -> np.ndarray:
+        clusters = region_grow(mv, seed_mask, min_cluster_size=2)
+        merged = merge_clusters(clusters)
+        return clusters_to_mask(merged, (rows, cols))
+
+    return BenchCase(
+        fn=fn,
+        work={
+            "frames": 1.0,
+            "macroblocks": float(rows * cols),
+            "seed_blocks": float(int(seed_mask.sum())),
+        },
+    )
+
+
+# -- rotation fit -----------------------------------------------------------
+
+
+@benchmark("core/ransac_rotation", suite="micro", group="core")
+def _build_rotation(scale: BenchScale) -> BenchCase:
+    intrinsics = CameraIntrinsics(focal=500.0, width=640, height=384)
+    rows, cols = intrinsics.height // _BLOCK, intrinsics.width // _BLOCK
+    x, y = block_centers((rows, cols), intrinsics, block=_BLOCK)
+    rng = np.random.default_rng(scale.seed)
+    rvx, rvy = rotational_flow(x, y, (0.002, -0.003, 0.0), intrinsics.focal)
+    mv = np.empty((rows, cols, 2), dtype=np.float64)
+    mv[..., 0] = rvx + 0.006 * x + rng.normal(scale=0.15, size=(rows, cols))
+    mv[..., 1] = rvy + 0.006 * y + rng.normal(scale=0.15, size=(rows, cols))
+    k = 70
+
+    def fn() -> object:
+        return estimate_rotation(mv, intrinsics, k=k, rng=np.random.default_rng(scale.seed))
+
+    return BenchCase(fn=fn, work={"frames": 1.0, "macroblocks": float(rows * cols), "samples": float(k)})
+
+
+# -- per-frame pipelines (macro) --------------------------------------------
+
+
+def _build_pipeline(scheme_key: str, scale: BenchScale) -> BenchCase:
+    from repro.baselines import DDSScheme, EAARScheme, O3Scheme
+    from repro.core import DiVEScheme
+    from repro.experiments.runner import ground_truth_for, run_scheme
+    from repro.network import constant_trace
+    from repro.world import nuscenes_like
+
+    schemes = {"dive": DiVEScheme, "dds": DDSScheme, "eaar": EAARScheme, "o3": O3Scheme}
+    scheme_cls = schemes[scheme_key]
+    config = ExperimentConfig(n_clips=1, n_frames=scale.macro_frames)
+    clip = nuscenes_like(scale.seed, n_frames=config.n_frames)
+    trace = constant_trace(scaled_bandwidth(scale.macro_bandwidth_mbps, clip))
+    ground_truth = ground_truth_for(clip, detector_seed=config.detector_seed)
+    blocks = (clip.intrinsics.height // _BLOCK) * (clip.intrinsics.width // _BLOCK)
+    case = BenchCase(
+        fn=lambda: None,
+        work={"frames": float(scale.macro_frames), "macroblocks": float(blocks * scale.macro_frames)},
+    )
+
+    def fn() -> object:
+        tracer = Tracer(meta={"scheme": scheme_key, "clip": clip.name})
+        result = run_scheme(
+            scheme_cls(),
+            clip,
+            trace,
+            detector_seed=config.detector_seed,
+            ground_truth=ground_truth,
+            tracer=tracer,
+        )
+        case.tracers.append(tracer)
+        return result
+
+    case.fn = fn
+    return case
+
+
+for _scheme in ("dive", "dds", "eaar", "o3"):
+    benchmark(f"pipeline/{_scheme}", suite="macro", group="pipeline")(partial(_build_pipeline, _scheme))

@@ -29,6 +29,9 @@ S009 print-in-library       warning  ``print()`` in library code (the CLI
                                      and the reporting module are exempt)
 S010 stdlib-random          error    importing the stdlib ``random`` module
                                      (unseedable from experiment configs)
+S011 loop-constant-alloc    warning  ``np.zeros/np.empty`` with a constant
+                                     shape allocated inside a loop body in
+                                     ``codec/`` — hoist the buffer
 ==== ====================== ======== =======================================
 """
 
@@ -43,6 +46,7 @@ __all__ = [
     "BareExceptRule",
     "BitsBytesMixRule",
     "DtypeLessAllocRule",
+    "LoopConstantAllocRule",
     "MutableDefaultRule",
     "PrintInLibraryRule",
     "QPLiteralBoundsRule",
@@ -364,6 +368,57 @@ class PrintInLibraryRule(Rule):
     def check(self, node: ast.Call, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
         if isinstance(node.func, ast.Name) and node.func.id == "print":
             yield node, "print() in library code; return the string or record a tracer gauge instead"
+
+
+def _is_const_int(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, int) and not isinstance(node.value, bool)
+
+
+def _has_constant_shape(call: ast.Call) -> bool:
+    """True when the allocation's shape is a literal int or tuple/list of them."""
+    shape: ast.AST | None = call.args[0] if call.args else None
+    for kw in call.keywords:
+        if kw.arg == "shape":
+            shape = kw.value
+    if shape is None:
+        return False
+    if _is_const_int(shape):
+        return True
+    if isinstance(shape, (ast.Tuple, ast.List)):
+        return bool(shape.elts) and all(_is_const_int(e) for e in shape.elts)
+    return False
+
+
+@register
+class LoopConstantAllocRule(Rule):
+    id = "S011"
+    name = "loop-constant-alloc"
+    severity = "warning"
+    description = (
+        "np.zeros/np.empty with a constant shape inside a loop body in "
+        "codec/ re-allocates an identical buffer every iteration; hoist it "
+        "out of the loop and fill in place."
+    )
+    scope = ("codec",)
+
+    _ALLOC_FUNCS = frozenset({"np.zeros", "np.empty", "numpy.zeros", "numpy.empty"})
+
+    def module_check(self, tree: ast.Module, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        reported: set[int] = set()  # call node ids, so nested loops report once
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for stmt in [*loop.body, *loop.orelse]:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call) or id(sub) in reported:
+                        continue
+                    name = dotted_name(sub.func)
+                    if name in self._ALLOC_FUNCS and _has_constant_shape(sub):
+                        reported.add(id(sub))
+                        yield sub, (
+                            f"{name}(...) with a constant shape is allocated every "
+                            "loop iteration; hoist the buffer out of the loop and fill in place"
+                        )
 
 
 @register

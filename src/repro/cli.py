@@ -5,6 +5,9 @@ experiment entry points (``table1``, ``fig06`` ... ``fig17``, ``ablation``,
 ``scalability``) plus a ``demo`` that streams one clip through DiVE.
 Every experiment accepts ``--clips`` / ``--frames`` to trade fidelity for
 time; results print as the same text tables the benchmark suite emits.
+``lint`` runs the project-specific static analyser, ``bench`` the
+perf/memory benchmark harness (with ``--compare`` regression gating), and
+``report`` joins a ``BENCH_*.json`` and a trace JSONL into one run report.
 """
 
 from __future__ import annotations
@@ -266,6 +269,67 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run (or load) a benchmark suite; optionally compare against a baseline."""
+    from repro.bench import (
+        SchemaMismatchError,
+        all_benchmarks,
+        compare_docs,
+        load_doc,
+        render_bench_json,
+        render_bench_text,
+        render_comparison,
+        run_suite,
+        write_doc,
+    )
+
+    if args.list:
+        print(format_table(
+            ["benchmark", "suite", "group"],
+            [[b.name, b.suite, b.group] for b in all_benchmarks(args.suite)],
+            title="registered benchmarks",
+        ))
+        return 0
+    if args.load:
+        doc = load_doc(args.load)
+    else:
+        doc = run_suite(args.suite, names=args.only or None)
+    if args.out:
+        print(f"wrote {write_doc(doc, args.out)}")
+    print(render_bench_json(doc) if args.format == "json" else render_bench_text(doc))
+    if args.compare:
+        try:
+            comparison = compare_docs(load_doc(args.compare), doc)
+        except SchemaMismatchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(render_comparison(comparison))
+        if args.fail_on_regress and not comparison.ok:
+            return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Join a bench document and a frame trace into one run report."""
+    from pathlib import Path
+
+    from repro.bench import load_doc, run_report
+    from repro.obs import read_jsonl
+
+    doc = load_doc(args.bench) if args.bench else None
+    meta, frames = (None, None)
+    if args.trace:
+        meta, frames = read_jsonl(args.trace)
+    text = run_report(doc, meta, frames, fmt=args.format)
+    if args.out:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the project-specific static analyser (see :mod:`repro.check`)."""
     from repro.check import check_paths, render_json, render_text, rule_table
@@ -340,6 +404,30 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=["src"], help="files/directories to lint")
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    bench = sub.add_parser(
+        "bench",
+        help="Perf/memory benchmark suite: run, save BENCH_*.json, compare runs",
+    )
+    bench.add_argument("--suite", choices=("micro", "macro", "all"), default="micro")
+    bench.add_argument("--out", default=None, help="write the results document (JSON) here")
+    bench.add_argument("--load", default=None, help="use an existing results file instead of running")
+    bench.add_argument("--compare", default=None, metavar="BASELINE", help="baseline BENCH_*.json to compare against")
+    bench.add_argument(
+        "--fail-on-regress",
+        action="store_true",
+        help="exit nonzero when --compare finds regressed or missing metrics",
+    )
+    bench.add_argument("--format", choices=("text", "json"), default="text")
+    bench.add_argument("--only", action="append", default=None, metavar="NAME", help="run only this benchmark (repeatable)")
+    bench.add_argument("--list", action="store_true", help="list registered benchmarks and exit")
+    report = sub.add_parser(
+        "report",
+        help="Unified run report joining a BENCH_*.json and a repro-trace JSONL",
+    )
+    report.add_argument("--bench", default=None, metavar="BENCH_JSON", help="bench results document")
+    report.add_argument("--trace", default=None, metavar="TRACE_JSONL", help="frame trace from `repro trace`")
+    report.add_argument("--format", choices=("markdown", "text"), default="markdown")
+    report.add_argument("--out", default=None, help="write the report here instead of stdout")
     return parser
 
 
@@ -347,6 +435,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "report":
+        return _cmd_report(args)
     func, _ = _COMMANDS[args.command]
     print(func(args))
     return 0

@@ -26,7 +26,13 @@ from dataclasses import dataclass
 
 from repro.world.datasets import Clip, kitti_like, nuscenes_like, robotcar_like
 
-__all__ = ["PAPER_REFERENCE_PIXELS", "ExperimentConfig", "dataset_clips", "scaled_bandwidth"]
+__all__ = [
+    "PAPER_REFERENCE_PIXELS",
+    "BenchScale",
+    "ExperimentConfig",
+    "dataset_clips",
+    "scaled_bandwidth",
+]
 
 #: Pixel count of the paper's reference stream (nuScenes, 1600x900).
 PAPER_REFERENCE_PIXELS = 1600 * 900
@@ -72,6 +78,54 @@ class ExperimentConfig:
     detector_seed: int = 7
     tracing: bool = False
     sanitize: bool = False
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload scale of the :mod:`repro.bench` perf suite.
+
+    The defaults are sized so ``repro bench --suite all`` finishes in well
+    under two minutes on a laptop while each benchmark still does enough
+    work to time meaningfully.  Tests shrink these further; a paper-scale
+    perf run passes larger values.  Everything here is deterministic input
+    to the benchmarks — two runs with the same :class:`BenchScale` perform
+    bit-identical work (only the measured wall-clock differs).
+
+    Attributes
+    ----------
+    warmup, repeats:
+        Measurement schedule for micro benchmarks (discarded warmup calls,
+        then timed repeats).
+    macro_warmup, macro_repeats:
+        Same for the per-frame pipeline (macro) benchmarks, which cost
+        seconds per call.
+    seed:
+        Seed for every clip / synthetic field a benchmark builds.
+    frame_width, frame_height:
+        Micro-benchmark frame size (multiples of 16); smaller than the
+        experiment default so ESA/TESA stay fast.
+    exhaustive_search_range:
+        Search range for the ESA/TESA micro benchmarks (pattern searches
+        keep the codec default of 16).
+    cluster_grid:
+        ``(rows, cols)`` macroblock grid of the clustering benchmark.
+    macro_frames:
+        Frames per pipeline benchmark run.
+    macro_bandwidth_mbps:
+        Paper-scale uplink label for the pipeline benchmarks.
+    """
+
+    warmup: int = 1
+    repeats: int = 3
+    macro_warmup: int = 0
+    macro_repeats: int = 2
+    seed: int = 0
+    frame_width: int = 320
+    frame_height: int = 192
+    exhaustive_search_range: int = 8
+    cluster_grid: tuple[int, int] = (40, 64)
+    macro_frames: int = 10
+    macro_bandwidth_mbps: float = 2.0
 
 
 def scaled_bandwidth(mbps_label: float, clip: Clip) -> float:

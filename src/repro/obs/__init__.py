@@ -9,7 +9,7 @@ tables.  The default :data:`NULL_TRACER` is a no-op, so untraced runs pay
 nothing.  See the "Observability" section of README.md / API.md.
 """
 
-from repro.obs.aggregate import StageStats, TraceSummary, counter_rows, span_rows, summarize
+from repro.obs.aggregate import StageStats, TraceSummary, counter_rows, merge, span_rows, summarize
 from repro.obs.export import read_jsonl, write_jsonl
 from repro.obs.tracer import NULL_TRACER, FrameTrace, NullTracer, Tracer
 
@@ -21,6 +21,7 @@ __all__ = [
     "TraceSummary",
     "Tracer",
     "counter_rows",
+    "merge",
     "read_jsonl",
     "span_rows",
     "summarize",

@@ -8,13 +8,14 @@ quote as their before/after story.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.obs.tracer import FrameTrace
 
-__all__ = ["StageStats", "TraceSummary", "counter_rows", "span_rows", "summarize"]
+__all__ = ["StageStats", "TraceSummary", "counter_rows", "merge", "span_rows", "summarize"]
 
 
 @dataclass(frozen=True)
@@ -32,8 +33,12 @@ class StageStats:
     total: float
 
     @classmethod
-    def from_values(cls, values: list[float]) -> "StageStats":
+    def from_values(cls, values: Sequence[float]) -> "StageStats":
         arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            # Zero samples (e.g. a span name that never fired): percentile
+            # on an empty array raises, so return an all-zero row instead.
+            return cls(count=0, mean=0.0, p50=0.0, p95=0.0, total=0.0)
         return cls(
             count=int(arr.size),
             mean=float(arr.mean()),
@@ -52,8 +57,34 @@ class TraceSummary:
     counters: dict[str, StageStats]
 
 
-def summarize(frames: list[FrameTrace]) -> TraceSummary:
-    """Aggregate frame records into per-stage / per-counter statistics."""
+def merge(frame_lists: Iterable[Sequence[FrameTrace]], *, reindex: bool = True) -> list[FrameTrace]:
+    """Concatenate frame records from several traces into one list.
+
+    Used to pool repeats of the same run (the bench macro benchmarks record
+    one tracer per timed repeat) or several trace files into a single
+    :func:`summarize` input.  With ``reindex`` (the default), records get
+    fresh consecutive indices so frames from different repeats stay
+    distinguishable; orphan records (``index == -1``) keep their marker.
+    Records are shallow-copied — the input traces are never mutated.
+    """
+    merged: list[FrameTrace] = []
+    next_index = 0
+    for frames in frame_lists:
+        for record in frames:
+            index = record.index
+            if reindex and index != -1:
+                index = next_index
+                next_index += 1
+            merged.append(replace(record, index=index, spans=dict(record.spans), counters=dict(record.counters)))
+    return merged
+
+
+def summarize(frames: Sequence[FrameTrace]) -> TraceSummary:
+    """Aggregate frame records into per-stage / per-counter statistics.
+
+    An empty input yields an empty :class:`TraceSummary` (zero frames, no
+    rows) rather than an error, so callers can summarize unconditionally.
+    """
     span_values: dict[str, list[float]] = {}
     counter_values: dict[str, list[float]] = {}
     for frame in frames:

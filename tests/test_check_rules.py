@@ -79,6 +79,23 @@ FIXTURES = {
         "import random\n",
         "import numpy as np\n",
     ),
+    "S011": (
+        "src/repro/codec/x.py",
+        (
+            "import numpy as np\n"
+            "def f(frames):\n"
+            "    for fr in frames:\n"
+            "        buf = np.zeros((16, 16), dtype=np.float64)\n"
+            "        buf += fr\n"
+        ),
+        (
+            "import numpy as np\n"
+            "def f(frames):\n"
+            "    buf = np.zeros((16, 16), dtype=np.float64)\n"
+            "    for fr in frames:\n"
+            "        buf[:] = fr\n"
+        ),
+    ),
 }
 
 
@@ -128,6 +145,42 @@ class TestRuleDetails:
         assert check_source(src, path="src/repro/cli.py") == []
         assert check_source(src, path="src/repro/experiments/reporting.py") == []
         assert check_source(src, path="src/repro/obs/export.py")
+
+    def test_loop_alloc_dynamic_shape_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(frames, n):\n"
+            "    for fr in frames:\n"
+            "        buf = np.zeros((n, fr.shape[1]), dtype=np.float64)\n"
+        )
+        assert check_source(src, path="src/repro/codec/x.py") == []
+
+    def test_loop_alloc_shape_keyword_and_while(self):
+        src = (
+            "import numpy as np\n"
+            "while True:\n"
+            "    buf = np.empty(shape=(8, 8), dtype=np.int32)\n"
+        )
+        findings = check_source(src, path="src/repro/codec/x.py")
+        assert [f.rule for f in findings] == ["S011"]
+
+    def test_loop_alloc_nested_loops_report_once(self):
+        src = (
+            "import numpy as np\n"
+            "for a in range(2):\n"
+            "    for b in range(2):\n"
+            "        buf = np.zeros(64, dtype=np.uint8)\n"
+        )
+        findings = check_source(src, path="src/repro/codec/x.py")
+        assert [f.rule for f in findings] == ["S011"]
+
+    def test_loop_alloc_noqa_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "for a in range(2):\n"
+            "    buf = np.zeros(64, dtype=np.uint8)  # repro: noqa[S011]\n"
+        )
+        assert check_source(src, path="src/repro/codec/x.py") == []
 
     def test_syntax_error_reported_not_raised(self):
         findings = check_source("def f(:\n", path="broken.py")

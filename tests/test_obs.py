@@ -14,11 +14,13 @@ from repro.obs import (
     NullTracer,
     Tracer,
     counter_rows,
+    merge,
     read_jsonl,
     span_rows,
     summarize,
     write_jsonl,
 )
+from repro.obs.aggregate import StageStats
 
 
 def busy(seconds=0.001):
@@ -165,6 +167,33 @@ class TestAggregation:
         s = summarize(frames)
         assert s.spans["mc"].count == 1
         assert s.spans["mc"].mean == pytest.approx(1.0)
+
+    def test_empty_trace_summarizes_to_empty_summary(self):
+        s = summarize([])
+        assert s.n_frames == 0
+        assert s.spans == {}
+        assert s.counters == {}
+        assert span_rows(s) == []
+        assert counter_rows(s) == []
+
+    def test_zero_sample_stage_stats(self):
+        s = StageStats.from_values([])
+        assert (s.count, s.mean, s.p50, s.p95, s.total) == (0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_merge_reindexes_and_copies(self):
+        a = [FrameTrace(index=0, spans={"me": 1.0}), FrameTrace(index=1, spans={"me": 2.0})]
+        b = [FrameTrace(index=0, spans={"me": 3.0})]
+        merged = merge([a, b])
+        assert [f.index for f in merged] == [0, 1, 2]
+        assert merged[2].spans == {"me": 3.0}
+        merged[0].spans["me"] = 99.0
+        assert a[0].spans["me"] == 1.0  # inputs never mutated
+
+    def test_merge_preserves_orphan_marker_and_no_reindex(self):
+        a = [FrameTrace(index=3, counters={"bits": 1.0}), FrameTrace(index=-1, spans={"setup": 0.5})]
+        merged = merge([a])
+        assert [f.index for f in merged] == [0, -1]
+        assert [f.index for f in merge([a], reindex=False)] == [3, -1]
 
     def test_rows_scaled_to_ms(self):
         frames = [FrameTrace(index=0, spans={"me": 0.25}, counters={"bits": 5.0})]
