@@ -8,8 +8,13 @@ mAP"):
   (:func:`repro.codec.motion.estimate_motion`) on two rendered frames of a
   seeded clip.  ESA/TESA use :attr:`BenchScale.exhaustive_search_range`
   so the exhaustive searches stay in budget.
+- ``me/motion_compensate`` — batched motion-compensated prediction from a
+  hex-estimated (sub-pixel) MV field.
 - ``codec/dct_quant_roundtrip`` — 8x8 DCT → quantise → bit accounting →
   dequantise → inverse DCT on a real inter-frame residual.
+- ``codec/rate_control`` — the CBR binary search (bit-curve counter
+  construction plus QP probes) on the DCT of a real residual with a
+  two-level DiVE-style QP offset map.
 - ``core/foreground_cluster`` — region growing, cluster merging and convex
   rasterisation on a synthetic translational field with planted objects.
 - ``core/ransac_rotation`` — R-sampling + RANSAC rotation fit on a
@@ -70,6 +75,22 @@ for _method in ME_METHODS:
     benchmark(f"me/{_method}", suite="micro", group="me")(partial(_build_me, _method))
 
 
+@benchmark("me/motion_compensate", suite="micro", group="me")
+def _build_motion_compensate(scale: BenchScale) -> BenchCase:
+    from repro.codec.motion import motion_compensate
+
+    current, reference = _micro_frames(scale)
+    # A real sub-pixel field: fractional MVs exercise the 4-tap bilinear
+    # path, static blocks the single-tap integer path.
+    mv = estimate_motion(current, reference, method="hex", search_range=16).mv
+    blocks = (current.shape[0] // _BLOCK) * (current.shape[1] // _BLOCK)
+
+    def fn() -> np.ndarray:
+        return motion_compensate(reference, mv, block=_BLOCK)
+
+    return BenchCase(fn=fn, work={"frames": 1.0, "macroblocks": float(blocks)})
+
+
 # -- transform coding -------------------------------------------------------
 
 
@@ -96,6 +117,28 @@ def _build_dct_quant(scale: BenchScale) -> BenchCase:
             "encoded_kbit": fn() / 1e3,
         },
     )
+
+
+@benchmark("codec/rate_control", suite="micro", group="codec")
+def _build_rate_control(scale: BenchScale) -> BenchCase:
+    from repro.codec.encoder import VideoEncoder
+    from repro.codec.transform import QuantBitCounter
+
+    current, reference = _micro_frames(scale)
+    residual = current.astype(np.float64) - reference.astype(np.float64)
+    coeffs = dct_blocks(residual)
+    rows, cols = residual.shape[0] // _BLOCK, residual.shape[1] // _BLOCK
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    # Two-level offset map, the shape DiVE's foreground/background QP
+    # differential produces.
+    offsets = np.where((r + c) % 3 == 0, 0.0, 6.0)
+    budget_bits = float(residual.size) * 0.4  # mid-curve: search spans several QPs
+
+    def fn() -> float:
+        counter = QuantBitCounter(coeffs, offsets, mb_size=_BLOCK)
+        return VideoEncoder._rate_control(counter, budget_bits)
+
+    return BenchCase(fn=fn, work={"frames": 1.0, "macroblocks": float(rows * cols)})
 
 
 # -- foreground clustering --------------------------------------------------
@@ -180,7 +223,11 @@ def _build_pipeline(scheme_key: str, scale: BenchScale) -> BenchCase:
     schemes = {"dive": DiVEScheme, "dds": DDSScheme, "eaar": EAARScheme, "o3": O3Scheme}
     scheme_cls = schemes[scheme_key]
     config = ExperimentConfig(n_clips=1, n_frames=scale.macro_frames)
-    clip = nuscenes_like(scale.seed, n_frames=config.n_frames)
+    # Pre-render the clip at build time: the macro benchmarks measure the
+    # per-frame pipeline (ME, encode, transmit, server), not the synthetic
+    # world's renderer, and the small default frame cache would otherwise
+    # re-render every frame on every repeat.
+    clip = nuscenes_like(scale.seed, n_frames=config.n_frames).preload()
     trace = constant_trace(scaled_bandwidth(scale.macro_bandwidth_mbps, clip))
     ground_truth = ground_truth_for(clip, detector_seed=config.detector_seed)
     blocks = (clip.intrinsics.height // _BLOCK) * (clip.intrinsics.width // _BLOCK)

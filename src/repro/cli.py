@@ -272,6 +272,7 @@ def _cmd_trace(args: argparse.Namespace) -> str:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run (or load) a benchmark suite; optionally compare against a baseline."""
     from repro.bench import (
+        DEFAULT_TOLERANCES,
         SchemaMismatchError,
         all_benchmarks,
         compare_docs,
@@ -283,6 +284,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_doc,
     )
 
+    tolerances: dict[str, float] = {}
+    for spec in args.tolerance or []:
+        kind, sep, value = spec.partition("=")
+        if not sep or kind not in DEFAULT_TOLERANCES:
+            print(
+                f"error: --tolerance expects KIND=VALUE with KIND one of "
+                f"{sorted(DEFAULT_TOLERANCES)}, got {spec!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            tolerances[kind] = float(value)
+        except ValueError:
+            print(f"error: --tolerance value in {spec!r} is not a number", file=sys.stderr)
+            return 2
     if args.list:
         print(format_table(
             ["benchmark", "suite", "group"],
@@ -299,7 +315,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(render_bench_json(doc) if args.format == "json" else render_bench_text(doc))
     if args.compare:
         try:
-            comparison = compare_docs(load_doc(args.compare), doc)
+            comparison = compare_docs(load_doc(args.compare), doc, tolerances=tolerances or None)
         except SchemaMismatchError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -416,6 +432,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--fail-on-regress",
         action="store_true",
         help="exit nonzero when --compare finds regressed or missing metrics",
+    )
+    bench.add_argument(
+        "--tolerance",
+        action="append",
+        default=None,
+        metavar="KIND=VALUE",
+        help="override a --compare tolerance, e.g. time=2.5 (kinds: time, memory, throughput; repeatable)",
     )
     bench.add_argument("--format", choices=("text", "json"), default="text")
     bench.add_argument("--only", action="append", default=None, metavar="NAME", help="run only this benchmark (repeatable)")

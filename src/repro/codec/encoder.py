@@ -25,7 +25,14 @@ import numpy as np
 from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.codec.intra import intra_encode
 from repro.codec.motion import MotionEstimate, estimate_motion, motion_compensate
-from repro.codec.transform import dct_blocks, dequantize, idct_blocks, quantize, transform_cost_bits
+from repro.codec.transform import (
+    QuantBitCounter,
+    dct_blocks,
+    dequantize,
+    idct_blocks,
+    quantize,
+    transform_cost_bits,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["EncodedFrame", "EncoderConfig", "VideoEncoder", "encode_region_update"]
@@ -224,7 +231,8 @@ class VideoEncoder:
                 chosen_qp = float(np.clip(base_qp, 0, _MAX_QP))
             else:
                 with tr.span("rate_control"):
-                    chosen_qp = self._rate_control(coeffs, offsets, float(target_bits) - overhead, cfg.block)
+                    counter = QuantBitCounter(coeffs, offsets, mb_size=cfg.block, max_qp=_MAX_QP)
+                    chosen_qp = self._rate_control(counter, float(target_bits) - overhead)
 
             qp_map = np.clip(chosen_qp + offsets, 0, _MAX_QP)
             intra_modes = None
@@ -286,27 +294,26 @@ class VideoEncoder:
         return encoded
 
     @staticmethod
-    def _rate_control(coeffs: np.ndarray, offsets: np.ndarray, budget_bits: float, block: int) -> float:
+    def _rate_control(counter: QuantBitCounter, budget_bits: float) -> float:
         """Smallest base QP whose coded size fits the bit budget.
 
         Coefficient bits decrease monotonically with QP, so a binary search
         over integer QPs suffices.  If even QP 51 overshoots, 51 is
         returned (the frame will simply take longer to transmit — the
-        network simulator handles queueing).
+        network simulator handles queueing).  ``counter`` caches the
+        per-offset-group bit curves, so each probe costs one scalar
+        re-quantisation per distinct offset value instead of a full-frame
+        ``quantize`` + ``transform_cost_bits`` pass.
         """
-
-        def bits_at(qp: float) -> float:
-            qp_map = np.clip(qp + offsets, 0, _MAX_QP)
-            return float(transform_cost_bits(quantize(coeffs, qp_map, mb_size=block), mb_size=block).sum())
-
+        bits_at = counter.bits_at
         lo, hi = 0, _MAX_QP
-        if bits_at(lo) <= budget_bits:
+        if bits_at(float(lo)) <= budget_bits:
             return float(lo)
-        if bits_at(hi) > budget_bits:
+        if bits_at(float(hi)) > budget_bits:
             return float(hi)
         while hi - lo > 1:
             mid = (lo + hi) // 2
-            if bits_at(mid) <= budget_bits:
+            if bits_at(float(mid)) <= budget_bits:
                 hi = mid
             else:
                 lo = mid

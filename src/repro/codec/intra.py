@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.codec.transform import dct_blocks, dequantize, idct_blocks, quantize, transform_cost_bits
+from repro.codec.transform import dct_blocks, idct_blocks, qstep, transform_cost_bits
 
 __all__ = ["intra_decode", "intra_encode", "intra_predict_block"]
 
@@ -107,11 +107,15 @@ def intra_encode(
                     best_mode, best_pred, best_sad = mode, pred, sad
             residual = src - best_pred
             coeffs = dct_blocks(residual)
-            qp_block = np.full((sub, sub), qp_map[r, c])
-            levels = quantize(coeffs, qp_block, mb_size=8)
+            # One macroblock has a single QP, so the quantiser step is a
+            # scalar: dividing by it is IEEE-identical to quantize()'s
+            # broadcast against an expanded per-8x8 step map, at a fraction
+            # of the per-block overhead.
+            q = qstep(float(qp_map[r, c]))
+            levels = np.round(coeffs / q)
             levels_full[r * sub : (r + 1) * sub, :, c * sub : (c + 1) * sub, :] = levels
             bits_per_mb[r, c] = float(transform_cost_bits(levels, mb_size=8).sum()) + _MODE_BITS
-            rec_res = idct_blocks(dequantize(levels, qp_block, mb_size=8))
+            rec_res = idct_blocks(levels * q)
             recon[r0 : r0 + block, c0 : c0 + block] = np.clip(best_pred + rec_res, 0.0, 255.0)
             modes[r, c] = best_mode
     return levels_full, modes, recon, bits_per_mb
@@ -139,7 +143,8 @@ def intra_decode(
             r0, c0 = r * block, c * block
             pred = intra_predict_block(recon, r0, c0, block, int(modes[r, c]))
             lv = levels[r * sub : (r + 1) * sub, :, c * sub : (c + 1) * sub, :]
-            qp_block = np.full((sub, sub), qp_map[r, c])
-            rec_res = idct_blocks(dequantize(lv, qp_block, mb_size=8))
+            # Scalar dequantise — same step value quantize/dequantize would
+            # broadcast, see intra_encode.
+            rec_res = idct_blocks(lv * qstep(float(qp_map[r, c])))
             recon[r0 : r0 + block, c0 : c0 + block] = np.clip(pred + rec_res, 0.0, 255.0)
     return recon

@@ -34,12 +34,14 @@ signal.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
-from repro.utils.integral import block_reduce_sum, shift_with_edge_pad
+from repro.utils.integral import block_reduce_sum, shifted_window
 
 __all__ = ["ME_METHODS", "MotionEstimate", "estimate_motion", "motion_compensate", "nonzero_mv_ratio"]
 
@@ -79,19 +81,28 @@ class MotionEstimate:
 
 
 def _mv_bits_vec(dx: np.ndarray, dy: np.ndarray, pred_x: np.ndarray, pred_y: np.ndarray) -> np.ndarray:
-    """Vectorised exp-Golomb-style MV bit cost against per-block predictors."""
-    bits = np.zeros(dx.shape, dtype=np.float64)
-    for d, p in ((dx, pred_x), (dy, pred_y)):
-        v = np.abs(d - p)
-        bits += 1.0 + 2.0 * np.floor(np.log2(2.0 * v + 1.0))
-    return bits
+    """Vectorised exp-Golomb-style MV bit cost against per-block predictors.
+
+    Per axis the cost is ``1 + 2*floor(log2(2|d - pred| + 1))`` bits; both
+    axis terms are exact small integers in float64, so fusing them into one
+    expression is bit-identical to accumulating them one axis at a time.
+    """
+    vx = np.abs(dx - pred_x)
+    vy = np.abs(dy - pred_y)
+    return 2.0 + 2.0 * (np.floor(np.log2(2.0 * vx + 1.0)) + np.floor(np.log2(2.0 * vy + 1.0)))
 
 
 class _BlockSadEvaluator:
     """Per-block SAD at arbitrary per-block displacements, vectorised.
 
     One call evaluates a candidate displacement for *every* macroblock via
-    a single fancy-indexed gather from the padded reference frame.
+    a single flat-indexed gather from the padded reference frame.  Gather
+    indices and the difference buffer are preallocated once and reused
+    across calls — the pattern searches fire hundreds of small evaluations
+    per frame, so per-call allocation dominates otherwise (lint rule S011).
+    The arithmetic (gather, subtract, abs, per-block contiguous sum) is
+    identical operation-for-operation to a per-block fancy-indexed version,
+    so SAD values are bit-exact either way.
     """
 
     def __init__(self, current: np.ndarray, reference: np.ndarray, search_range: int, block: int):
@@ -112,27 +123,57 @@ class _BlockSadEvaluator:
         self.by = by
         self.bx = bx
         self._arange = np.arange(block)
+        # Flat-gather machinery: ref_pad raveled, per-block flat base index
+        # at zero displacement, and the in-block offset tile.  A per-block
+        # displacement (dx, dy) is then one scalar offset -dy*wp - dx.
+        wp = self.ref_pad.shape[1]
+        self._wp = wp
+        self._ref_flat = self.ref_pad.ravel()
+        self._cur_flat = self.cur_blocks.reshape(self.n, block * block)
+        self._tile = (self._arange[:, None] * wp + self._arange[None, :]).ravel()
+        self._base0 = (by + self.pad) * wp + (bx + self.pad)
+        self._idx_buf = np.empty((self.n, block * block), dtype=np.int64)
+        self._diff_buf = np.empty((self.n, block * block), dtype=np.float64)
+        self._diff_buf3 = self._diff_buf.reshape(self.n, block, block)
+        self._cur_buf = np.empty_like(self._diff_buf)
+        #: Last subset whose current-frame blocks were gathered into
+        #: ``_cur_buf``.  The pattern searches evaluate many displacements
+        #: against one unchanged active set, so keying the gather on array
+        #: identity (the reference we hold keeps the id stable) skips the
+        #: copy on every call but the first.  Callers must not mutate a
+        #: subset index array in place between calls.
+        self._subset_idx: np.ndarray | None = None
 
     def gather(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """Reference blocks for integer per-block displacements, ``(n, b, b)``."""
-        base_r = self.by - dy + self.pad
-        base_c = self.bx - dx + self.pad
-        idx_r = base_r[:, None] + self._arange[None, :]
-        idx_c = base_c[:, None] + self._arange[None, :]
-        return self.ref_pad[idx_r[:, :, None], idx_c[:, None, :]]
+        start = self._base0 - dy * self._wp - dx
+        idx = start[:, None] + self._tile[None, :]
+        return np.take(self._ref_flat, idx).reshape(self.n, self.block, self.block)
 
     def sad_int(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """SAD of every block at its own integer displacement."""
-        return np.abs(self.cur_blocks - self.gather(dx, dy)).sum(axis=(1, 2))
+        start = self._base0 - dy * self._wp - dx
+        np.add(start[:, None], self._tile[None, :], out=self._idx_buf)
+        np.take(self._ref_flat, self._idx_buf, out=self._diff_buf)
+        np.subtract(self._cur_flat, self._diff_buf, out=self._diff_buf)
+        np.abs(self._diff_buf, out=self._diff_buf)
+        return self._diff_buf3.sum(axis=(1, 2))
 
     def sad_int_subset(self, idx: np.ndarray, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """SAD for a subset of blocks (``idx`` flat indices)."""
-        base_r = self.by[idx] - dy + self.pad
-        base_c = self.bx[idx] - dx + self.pad
-        idx_r = base_r[:, None] + self._arange[None, :]
-        idx_c = base_c[:, None] + self._arange[None, :]
-        ref = self.ref_pad[idx_r[:, :, None], idx_c[:, None, :]]
-        return np.abs(self.cur_blocks[idx] - ref).sum(axis=(1, 2))
+        m = idx.shape[0]
+        start = self._base0[idx] - dy * self._wp - dx
+        gidx = self._idx_buf[:m]
+        np.add(start[:, None], self._tile[None, :], out=gidx)
+        diff = self._diff_buf[:m]
+        np.take(self._ref_flat, gidx, out=diff)
+        cur = self._cur_buf[:m]
+        if idx is not self._subset_idx:
+            np.take(self._cur_flat, idx, axis=0, out=cur)
+            self._subset_idx = idx
+        np.subtract(cur, diff, out=diff)
+        np.abs(diff, out=diff)
+        return self._diff_buf3[:m].sum(axis=(1, 2))
 
     def sad_frac(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """SAD at fractional displacements (bilinear-interpolated reference)."""
@@ -266,20 +307,30 @@ def _parabolic_subpel(
     skip = ((dx == 0) & (dy == 0) & (sad0 <= _SKIP_SAD_PER_PIXEL * block * block)) | (
         sad0 <= 0.05 * block * block
     )
-    sxm = ev.sad_int(np.clip(dx - 1, -rng, rng), dy)
-    sxp = ev.sad_int(np.clip(dx + 1, -rng, rng), dy)
-    sym = ev.sad_int(dx, np.clip(dy - 1, -rng, rng))
-    syp = ev.sad_int(dx, np.clip(dy + 1, -rng, rng))
+    off_x = np.zeros(dx.shape, dtype=np.float64)
+    off_y = np.zeros(dx.shape, dtype=np.float64)
+    live = np.flatnonzero(~skip)
+    # The four +-1-pixel neighbour SADs are only needed for blocks being
+    # refined; on a static scene every block is skip-level and the whole
+    # refinement is four avoided frame-size evaluations.
+    if live.size:
+        dxl = dx[live]
+        dyl = dy[live]
+        sad0l = sad0[live]
+        sxm = ev.sad_int_subset(live, np.clip(dxl - 1, -rng, rng), dyl)
+        sxp = ev.sad_int_subset(live, np.clip(dxl + 1, -rng, rng), dyl)
+        sym = ev.sad_int_subset(live, dxl, np.clip(dyl - 1, -rng, rng))
+        syp = ev.sad_int_subset(live, dxl, np.clip(dyl + 1, -rng, rng))
 
-    def vertex(sm: np.ndarray, sp: np.ndarray) -> np.ndarray:
-        denom = sm - 2.0 * sad0 + sp
-        with np.errstate(divide="ignore", invalid="ignore"):
-            off = 0.5 * (sm - sp) / denom
-        off = np.where((denom > 1e-9) & np.isfinite(off), off, 0.0)
-        return np.clip(off, -0.5, 0.5)
+        def vertex(sm: np.ndarray, sp: np.ndarray) -> np.ndarray:
+            denom = sm - 2.0 * sad0l + sp
+            with np.errstate(divide="ignore", invalid="ignore"):
+                off = 0.5 * (sm - sp) / denom
+            off = np.where((denom > 1e-9) & np.isfinite(off), off, 0.0)
+            return np.clip(off, -0.5, 0.5)
 
-    off_x = np.where(skip, 0.0, vertex(sxm, sxp))
-    off_y = np.where(skip, 0.0, vertex(sym, syp))
+        off_x[live] = vertex(sxm, sxp)
+        off_y[live] = vertex(sym, syp)
     return np.clip(dx + off_x, -rng, rng), np.clip(dy + off_y, -rng, rng)
 
 
@@ -367,11 +418,69 @@ def _pattern_search(
     return mv, sad0.reshape(ev.rows, ev.cols)
 
 
+@lru_cache(maxsize=None)
+def _tiled_sum_mimic_ok(block: int) -> bool:
+    """True iff per-block row sums plus sequential row accumulation
+    reproduce the tiled ``reshape(r, b, c, b).sum(axis=(1, 3))`` reduction
+    bitwise.
+
+    ESA's gathered phase-B path recomputes the exact SAD of the full-frame
+    tiled reduction from per-block contiguous data; whether the two
+    summation orders agree to the last bit is an implementation detail of
+    NumPy's reduction kernels, so it is checked once per block size on an
+    adversarial-magnitude probe and the slower full-frame path is used if
+    the identity ever stops holding.
+    """
+    gen = np.random.default_rng(0x5AD)
+    img = np.exp(gen.normal(0.0, 12.0, size=(3 * block, 5 * block)))  # SAD operands are non-negative
+    ref = img.reshape(3, block, 5, block).sum(axis=(1, 3)).ravel()
+    blocks = img.reshape(3, block, 5, block).transpose(0, 2, 1, 3).reshape(15, block, block)
+    part = blocks.sum(axis=2)
+    acc = part[:, 0].copy()
+    for j in range(1, block):
+        acc += part[:, j]
+    return bool(np.array_equal(acc, ref))
+
+
+@lru_cache(maxsize=None)
 def _hadamard_matrix(n: int) -> np.ndarray:
+    """Hadamard basis of order ``n`` (powers of two), memoised.
+
+    TESA re-ranks candidates with it on every frame; the cached array is
+    marked read-only so sharing it across calls is safe.
+    """
     h = np.array([[1.0]])
     while h.shape[0] < n:
         h = np.block([[h, h], [h, -h]])
+    h.setflags(write=False)
     return h
+
+
+def _exact_sad_scan(
+    cur64: np.ndarray,
+    refp: np.ndarray,
+    disp_arr: np.ndarray,
+    indices: np.ndarray,
+    pad: int,
+    block: int,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Exact per-macroblock SAD maps for the given displacement indices.
+
+    Yields ``(i, sad)`` pairs in ascending ``indices`` order.  Each
+    displacement is a zero-copy slice of the edge-padded reference
+    (bit-identical to ``shift_with_edge_pad``) followed by the tiled block
+    reduction; the |difference| buffer is reused across displacements.
+    """
+    h, w = cur64.shape
+    rows8 = h // block
+    cols8 = w // block
+    buf = np.empty_like(cur64)
+    for i in indices:
+        dx = int(disp_arr[i, 0])
+        dy = int(disp_arr[i, 1])
+        np.subtract(cur64, shifted_window(refp, dx, dy, pad, (h, w)), out=buf)
+        np.abs(buf, out=buf)
+        yield i, buf.reshape(rows8, block, cols8, block).sum(axis=(1, 3))
 
 
 def _exhaustive_search(
@@ -391,51 +500,159 @@ def _exhaustive_search(
     with whole-frame vector ops.  The MV-bit penalty uses the zero-MV
     predictor (exhaustive search scans a fixed window, so no causal
     predictor exists while the costs are being accumulated).
+
+    ESA never materialises the full ``(2R+1)^2 x rows x cols`` exact cost
+    volume: a float32 screening pass bounds each block's attainable cost,
+    and only (displacement, block) pairs that could still win (screen cost
+    within ``delta`` of that block's screen minimum) are re-evaluated
+    exactly, with a running strict-``<`` argmin in ascending displacement
+    order.  SAD is a sum of absolute values — no cancellation — so the
+    float32 screen's relative error is bounded by ~2e-5 even under a
+    naive-order reduction, and ``delta`` keeps >= 6x headroom: the exact
+    winner (and every exact tie, which settles first-occurrence ordering)
+    is always among each block's screened candidates, making the result
+    bit-identical to the full exact scan.
+
+    TESA still builds the exact cost volume (its top-k partition is defined
+    over it) but re-ranks all (block, candidate) pairs with one batched
+    gather + matmul SATD instead of a Python loop per block.
     """
     h, w = current.shape
     rows, cols = h // block, w // block
+    n = rows * cols
     cur64 = current.astype(np.float64)
     ref64 = reference.astype(np.float64)
-    disps = [(dx, dy) for dy in range(-search_range, search_range + 1) for dx in range(-search_range, search_range + 1)]
-    costs = np.empty((len(disps), rows, cols), dtype=np.float64)
-    sads = np.empty_like(costs)
-    zero = np.zeros(1, dtype=np.int64)
-    for i, (dx, dy) in enumerate(disps):
-        shifted = shift_with_edge_pad(ref64, dx, dy)
-        sad = block_reduce_sum(np.abs(cur64 - shifted), block)
-        sads[i] = sad
-        bits = float(_mv_bits_vec(np.array([dx]), np.array([dy]), zero, zero)[0])
-        costs[i] = sad + lambda_mv * bits
+    pad = search_range
+    refp = np.pad(ref64, pad, mode="edge")
+    side = 2 * search_range + 1
+    disp_arr = np.empty((side * side, 2), dtype=np.int64)
+    span = np.arange(-search_range, search_range + 1, dtype=np.int64)
+    disp_arr[:, 0] = np.tile(span, side)  # dx minor
+    disp_arr[:, 1] = span.repeat(side)  # dy major
+    n_disp = side * side
+    zero = np.zeros(n_disp, dtype=np.int64)
+    # Per-displacement MV-bit penalty against the zero predictor; the
+    # vectorised call computes the same exp-Golomb expression per element
+    # as a one-displacement call.
+    penalty = lambda_mv * _mv_bits_vec(disp_arr[:, 0], disp_arr[:, 1], zero, zero)
 
-    if not transformed:
-        best_idx = np.argmin(costs, axis=0)
-    else:
-        # TESA: re-rank the top-5 SAD+rate candidates of each block by SATD
-        # (Hadamard-transformed difference), as x264 does.
+    if transformed:
+        # TESA: exact cost volume, then re-rank the top-5 SAD+rate
+        # candidates of each block by SATD (Hadamard-transformed
+        # difference), as x264 does.
+        costs = np.empty((n_disp, rows, cols), dtype=np.float64)
+        sads = np.empty_like(costs)
+        for i, sad in _exact_sad_scan(cur64, refp, disp_arr, np.arange(n_disp), pad, block):
+            sads[i] = sad
+            costs[i] = sad + penalty[i]
         top_k = 5
         part = np.argpartition(costs, top_k, axis=0)[:top_k]
-        best_idx = np.empty((rows, cols), dtype=np.int64)
+        # One batched gather of every (candidate, block) reference block
+        # from the padded reference, then one batched SATD.  Matmul and the
+        # per-block abs-sum are applied per (candidate, block) pair exactly
+        # as the scalar loop applied them per block.
+        cand = part.reshape(top_k, n)
+        cur_blocks = cur64.reshape(rows, block, cols, block).transpose(0, 2, 1, 3).reshape(n, block, block)
+        by = (np.arange(rows) * block).repeat(cols)
+        bx = np.tile(np.arange(cols) * block, rows)
+        wp = refp.shape[1]
+        tile = (np.arange(block)[:, None] * wp + np.arange(block)[None, :]).ravel()
+        start = (by[None, :] - disp_arr[cand, 1] + pad) * wp + (bx[None, :] - disp_arr[cand, 0] + pad)
+        ref_blocks = np.take(refp.ravel(), start[:, :, None] + tile[None, None, :]).reshape(
+            top_k, n, block, block
+        )
         had = _hadamard_matrix(block)
-        for r in range(rows):
-            for c in range(cols):
-                cur_block = cur64[r * block : (r + 1) * block, c * block : (c + 1) * block]
-                best_cost, best_i = np.inf, int(part[0, r, c])
-                for i in part[:, r, c]:
-                    dx, dy = disps[int(i)]
-                    ref_block = shift_with_edge_pad(ref64, dx, dy)[
-                        r * block : (r + 1) * block, c * block : (c + 1) * block
-                    ]
-                    diff = cur_block - ref_block
-                    satd = float(np.abs(had @ diff @ had.T).sum()) / block
-                    bits = float(_mv_bits_vec(np.array([dx]), np.array([dy]), zero, zero)[0])
-                    cost = satd + lambda_mv * bits
-                    if cost < best_cost:
-                        best_cost, best_i = cost, int(i)
-                best_idx[r, c] = best_i
+        satd = np.abs(had @ (cur_blocks[None] - ref_blocks) @ had.T).sum(axis=(2, 3)) / block
+        cand_cost = satd + penalty[cand]
+        # argmin takes the first occurrence along the partition order —
+        # the same winner the sequential strict-< scan kept.
+        sel = np.argmin(cand_cost, axis=0)
+        best_idx = cand[sel, np.arange(n)].reshape(rows, cols)
+        sad_out = np.take_along_axis(sads, best_idx[None, :, :], axis=0)[0]
+    else:
+        # ESA phase A: float32 screen.  current/reference are float32 at
+        # this point (estimate_motion casts), so the float32 error is the
+        # subtraction rounding plus the reduction's accumulation error —
+        # SAD has no cancellation, so even a naive-order einsum sum of
+        # block*block terms stays within ~2e-5 relative.
+        cur32 = cur64.astype(np.float32)
+        refp32 = refp.astype(np.float32)
+        buf32 = np.empty_like(cur32)
+        buf32v = buf32.reshape(rows, block, cols, block)
+        screen = np.empty((n_disp, rows, cols), dtype=np.float32)
+        pen32 = penalty.astype(np.float32)
+        for i in range(n_disp):
+            dx = int(disp_arr[i, 0])
+            dy = int(disp_arr[i, 1])
+            np.subtract(cur32, shifted_window(refp32, dx, dy, pad, (h, w)), out=buf32)
+            np.abs(buf32, out=buf32)
+            # einsum instead of sum(axis=(1, 3)): ~3x faster on the strided
+            # view, and any summation-order difference is absorbed by delta
+            # (this is the approximate screen, not the exact phase).
+            np.einsum("rbcd->rc", buf32v, out=screen[i])
+            screen[i] += pen32[i]
+        screen_min = screen.min(axis=0)
+        if np.isfinite(screen_min).all():
+            # >= 6x headroom over the worst-case screen error bound above.
+            delta = 2e-4 * screen_min + 1e-3
+            cand_mask = screen <= screen_min + delta
+        else:  # non-finite input: screen bound void, fall back to full scan
+            cand_mask = np.ones(screen.shape, dtype=bool)
+        cand_disp = np.flatnonzero(cand_mask.any(axis=(1, 2)))
+        # Phase B: exact evaluation of the surviving (displacement, block)
+        # pairs only, with a running strict-< argmin in ascending
+        # displacement order.  Each block sees a superset of its exact
+        # minimisers, so the winner — including first-occurrence
+        # tie-breaking — is identical to np.argmin over the full volume.
+        best_cost = np.full(n, np.inf)
+        best_sad = np.zeros(n, dtype=np.float64)
+        best_flat = np.zeros(n, dtype=np.int64)
+        if _tiled_sum_mimic_ok(block):
+            # Gathered per-block evaluation: only the blocks that kept a
+            # displacement candidate pay for it, which cuts phase B from
+            # |candidates| full-frame passes to the actual number of
+            # surviving pairs.  The row-sum + sequential accumulation is
+            # bit-identical to the tiled reduction (probed above).
+            cur_flat = (
+                cur64.reshape(rows, block, cols, block).transpose(0, 2, 1, 3).reshape(n, block * block)
+            )
+            wp = refp.shape[1]
+            ref_flat = refp.ravel()
+            tile = (np.arange(block)[:, None] * wp + np.arange(block)[None, :]).ravel()
+            by = (np.arange(rows) * block).repeat(cols)
+            bx = np.tile(np.arange(cols) * block, rows)
+            base0 = (by + pad) * wp + (bx + pad)
+            flat_mask = cand_mask.reshape(n_disp, n)
+            for i in cand_disp:
+                blocks_i = np.flatnonzero(flat_mask[i])
+                start = base0[blocks_i] - disp_arr[i, 1] * wp - disp_arr[i, 0]
+                diff = np.take(ref_flat, start[:, None] + tile[None, :])
+                np.subtract(cur_flat[blocks_i], diff, out=diff)
+                np.abs(diff, out=diff)
+                part = diff.reshape(blocks_i.size, block, block).sum(axis=2)
+                sad = part[:, 0].copy()
+                for j in range(1, block):
+                    sad += part[:, j]
+                cost = sad + penalty[i]
+                upd = cost < best_cost[blocks_i]
+                sel = blocks_i[upd]
+                best_cost[sel] = cost[upd]
+                best_sad[sel] = sad[upd]
+                best_flat[sel] = i
+        else:
+            bc = best_cost.reshape(rows, cols)
+            bs = best_sad.reshape(rows, cols)
+            bi = best_flat.reshape(rows, cols)
+            for i, sad in _exact_sad_scan(cur64, refp, disp_arr, cand_disp, pad, block):
+                cost = sad + penalty[i]
+                upd = cost < bc
+                bc[upd] = cost[upd]
+                bs[upd] = sad[upd]
+                bi[upd] = i
+        best_idx = best_flat.reshape(rows, cols)
+        sad_out = best_sad.reshape(rows, cols)
 
-    disp_arr = np.array(disps, dtype=np.int64)
     int_mv = disp_arr[best_idx]
-    sad_out = np.take_along_axis(sads, best_idx[None, :, :], axis=0)[0]
     if subpel:
         ev = _BlockSadEvaluator(current, reference, search_range, block)
         dx = int_mv[..., 0].ravel()
@@ -557,14 +774,44 @@ def motion_compensate(reference: np.ndarray, mv: np.ndarray, *, block: int = 16)
     rows, cols = mv.shape[0], mv.shape[1]
     rng = int(np.ceil(np.abs(mv).max())) + 2
     ref_pad = np.pad(reference.astype(np.float64), rng, mode="edge")
-    pred = np.empty_like(reference)
-    for r in range(rows):
-        for c in range(cols):
-            dx, dy = float(mv[r, c, 0]), float(mv[r, c, 1])
-            pred[r * block : (r + 1) * block, c * block : (c + 1) * block] = interpolated_block(
-                ref_pad, r * block, c * block, dx, dy, rng, block
-            )
-    return pred
+    h, w = reference.shape
+    n = rows * cols
+    # One flat gather per bilinear tap instead of a Python loop over
+    # macroblocks; integer MVs need only the single p00 tap.  Tap positions
+    # and blend weights replicate interpolated_block exactly, so each output
+    # pixel is the same float64 value (and the same float32 after the final
+    # cast) the per-block loop produced.
+    mvx = mv[..., 0].astype(np.float64).ravel()
+    mvy = mv[..., 1].astype(np.float64).ravel()
+    fdx = np.floor(mvx).astype(np.int64)
+    fdy = np.floor(mvy).astype(np.int64)
+    ax = mvx - fdx
+    ay = mvy - fdy
+    by = (np.arange(rows) * block).repeat(cols)
+    bx = np.tile(np.arange(cols) * block, rows)
+    wp = ref_pad.shape[1]
+    ref_flat = ref_pad.ravel()
+    tile = (np.arange(block)[:, None] * wp + np.arange(block)[None, :]).ravel()
+    idx00 = ((by - fdy + rng) * wp + (bx - fdx + rng))[:, None] + tile[None, :]
+    blocks = np.take(ref_flat, idx00).reshape(n, block, block)
+    frac = np.flatnonzero((ax != 0.0) | (ay != 0.0))
+    if frac.size:
+        idxf = idx00[frac]
+        p00 = blocks[frac]
+        p01 = np.take(ref_flat, idxf - 1).reshape(frac.size, block, block)
+        p10 = np.take(ref_flat, idxf - wp).reshape(frac.size, block, block)
+        p11 = np.take(ref_flat, idxf - wp - 1).reshape(frac.size, block, block)
+        axf = ax[frac][:, None, None]
+        ayf = ay[frac][:, None, None]
+        blocks[frac] = (
+            (1 - ayf) * (1 - axf) * p00
+            + (1 - ayf) * axf * p01
+            + ayf * (1 - axf) * p10
+            + ayf * axf * p11
+        )
+    return (
+        blocks.reshape(rows, cols, block, block).transpose(0, 2, 1, 3).reshape(h, w).astype(np.float32)
+    )
 
 
 def nonzero_mv_ratio(mv: np.ndarray) -> float:

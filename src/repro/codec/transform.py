@@ -16,7 +16,15 @@ from __future__ import annotations
 import numpy as np
 from scipy.fft import dctn, idctn
 
-__all__ = ["dct_blocks", "dequantize", "idct_blocks", "qstep", "quantize", "transform_cost_bits"]
+__all__ = [
+    "QuantBitCounter",
+    "dct_blocks",
+    "dequantize",
+    "idct_blocks",
+    "qstep",
+    "quantize",
+    "transform_cost_bits",
+]
 
 #: Per-8x8-block fixed overhead (coded-block pattern, EOB) for blocks that
 #: carry coefficients, in bits.
@@ -101,3 +109,78 @@ def transform_cost_bits(levels: np.ndarray, *, mb_size: int = 16) -> np.ndarray:
     reps = mb_size // _TRANSFORM
     r8, c8 = per_block.shape
     return per_block.reshape(r8 // reps, reps, c8 // reps, reps).sum(axis=(1, 3))
+
+
+class QuantBitCounter:
+    """Cached total-bit curves for re-quantising one fixed coefficient set.
+
+    CBR rate control binary-searches the base QP, re-quantising the same
+    DCT coefficients at ~8 probe QPs per frame.  Re-running the full
+    ``quantize`` + :func:`transform_cost_bits` pipeline per probe repeats
+    the per-macroblock QP-map expansion and whole-volume bit model every
+    time, even though a probe only changes one scalar per *distinct* QP
+    offset value.  This counter groups the 8x8 transform blocks by their
+    macroblock's offset value once, and answers each probe with one scalar
+    division + bit count per group, memoising per ``(group, effective QP)``
+    so repeated effective QPs (offset maps saturating at QP 51, re-probed
+    QPs) are free.
+
+    Bit-exactness: every total is a sum of per-8x8-block costs that are
+    exact multiples of 0.25 in float64 (integer coefficient bits plus 4.0
+    or 0.25 of overhead), so regrouping the summation cannot change the
+    float result; quantised magnitudes use the same divide/round/``log2``
+    expressions as :func:`quantize` and :func:`transform_cost_bits`, and a
+    scalar divisor is IEEE-identical to a broadcast array of that scalar.
+    :meth:`bits_at` therefore returns exactly
+    ``float(transform_cost_bits(quantize(coeffs, clip(qp + offsets, 0, max_qp))).sum())``.
+    """
+
+    def __init__(
+        self,
+        coeffs: np.ndarray,
+        offsets: np.ndarray,
+        *,
+        mb_size: int = 16,
+        max_qp: float = 51.0,
+    ):
+        offs = np.asarray(offsets, dtype=np.float64)
+        if offs.ndim != 2:
+            raise ValueError(f"offsets must be 2-D, got shape {offs.shape}")
+        reps = mb_size // _TRANSFORM
+        r8, _, c8, _ = coeffs.shape
+        if offs.shape != (r8 // reps, c8 // reps):
+            raise ValueError(
+                f"offset map {offs.shape} inconsistent with coefficient blocks "
+                f"{(r8, c8)} (mb_size={mb_size})"
+            )
+        self.max_qp = float(max_qp)
+        # |coeffs| flattened to one row per 8x8 block, grouped by the
+        # macroblock offset value the block inherits.
+        mag = np.abs(np.asarray(coeffs, dtype=np.float64)).transpose(0, 2, 1, 3).reshape(r8 * c8, _TRANSFORM * _TRANSFORM)
+        block_offs = np.repeat(np.repeat(offs, reps, axis=0), reps, axis=1).ravel()
+        self._offsets, inverse = np.unique(block_offs, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        counts = np.bincount(inverse, minlength=self._offsets.size)
+        self._group_mags = np.split(mag[order], np.cumsum(counts)[:-1])
+        self._cache: dict[tuple[int, float], float] = {}
+
+    def bits_at(self, qp: float) -> float:
+        """Total coded bits at base QP ``qp`` (before clipping offsets)."""
+        total = 0.0
+        for gi, off in enumerate(self._offsets):
+            eff = float(min(max(qp + off, 0.0), self.max_qp))
+            key = (gi, eff)
+            bits = self._cache.get(key)
+            if bits is None:
+                bits = self._group_bits(gi, eff)
+                self._cache[key] = bits
+            total += bits
+        return total
+
+    def _group_bits(self, gi: int, eff_qp: float) -> float:
+        mags = self._group_mags[gi]
+        level_mag = np.round(np.divide(mags, qstep(eff_qp)))
+        bits = np.where(level_mag > 0, 2.0 * np.floor(np.log2(np.maximum(level_mag, 1.0))) + 3.0, 0.0)
+        coeff_bits = bits.sum(axis=1)
+        per_block = coeff_bits + np.where(coeff_bits > 0, _BLOCK_OVERHEAD_BITS, _SKIP_BLOCK_BITS)
+        return float(per_block.sum())

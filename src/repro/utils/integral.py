@@ -1,25 +1,33 @@
-"""Integral images and displacement-major SAD maps.
+"""Block reductions and displacement-major SAD maps.
 
 Exhaustive block-matching (the x264 ESA/TESA methods) evaluates every
 candidate displacement for every macroblock.  Doing that block-by-block in
 Python is hopeless; instead we loop over *displacements* and, for each one,
-compute the sum of absolute differences for **all** macroblocks at once via
-an integral image over ``|current - shifted reference|``.  One displacement
-costs a handful of whole-frame numpy operations.
+compute the sum of absolute differences for **all** macroblocks at once by
+shifting the reference, taking ``|current - shifted|`` and reducing it over
+non-overlapping tiles (:func:`block_reduce_sum`).  One displacement costs a
+handful of whole-frame numpy operations.
+
+(:func:`integral_image` — the classic summed-area table — lives here too,
+but the SAD maps do not use it: a tiled ``reshape``/``sum`` reduction beats
+four gathers into a cumulative table for non-overlapping blocks.  It is
+kept as a reference utility and is exercised only by the test suite, so it
+is deliberately *not* re-exported from :mod:`repro.utils`.)
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["block_reduce_sum", "block_sad_map", "integral_image", "shift_with_edge_pad"]
+__all__ = ["block_reduce_sum", "block_sad_map", "shift_with_edge_pad", "shifted_window"]
 
 
 def integral_image(img: np.ndarray) -> np.ndarray:
     """Summed-area table with a zero top row/left column.
 
     ``ii[r, c]`` is the sum of ``img[:r, :c]``, so any rectangle sum is four
-    lookups.
+    lookups.  Reference utility only — the hot paths use
+    :func:`block_reduce_sum` instead (see the module docstring).
     """
     img = np.asarray(img, dtype=np.float64)
     ii = np.zeros((img.shape[0] + 1, img.shape[1] + 1), dtype=np.float64)
@@ -48,9 +56,33 @@ def shift_with_edge_pad(img: np.ndarray, dx: int, dy: int) -> np.ndarray:
     its current-frame position.
     """
     h, w = img.shape
+    if -h < dy < h and -w < dx < w:
+        # Fast path: slice the surviving core and edge-pad it back to size.
+        # Pure slicing plus ``np.pad(mode="edge")`` copies the exact same
+        # source pixels as the clip-index gather below, without ever
+        # materialising index arrays.
+        top, bottom = max(dy, 0), max(-dy, 0)
+        left, right = max(dx, 0), max(-dx, 0)
+        core = img[bottom : h - top, right : w - left]
+        if not (top or bottom or left or right):
+            return core.copy()
+        return np.pad(core, ((top, bottom), (left, right)), mode="edge")
     rows = np.clip(np.arange(h) - dy, 0, h - 1)
     cols = np.clip(np.arange(w) - dx, 0, w - 1)
     return img[np.ix_(rows, cols)]
+
+
+def shifted_window(padded: np.ndarray, dx: int, dy: int, pad: int, shape: tuple[int, int]) -> np.ndarray:
+    """View of an edge-padded image equal to :func:`shift_with_edge_pad`.
+
+    ``padded`` must be ``np.pad(img, pad, mode="edge")``; for any
+    ``|dx|, |dy| <= pad`` the returned slice is element-for-element the
+    array :func:`shift_with_edge_pad` would build, but as a zero-copy view —
+    the displacement-major searches pad the reference once and slice per
+    displacement.
+    """
+    h, w = shape
+    return padded[pad - dy : pad - dy + h, pad - dx : pad - dx + w]
 
 
 def block_sad_map(current: np.ndarray, reference: np.ndarray, dx: int, dy: int, block: int = 16) -> np.ndarray:

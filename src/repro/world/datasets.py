@@ -80,6 +80,19 @@ class Clip:
         for i in range(self.n_frames):
             yield self.frame(i)
 
+    def preload(self) -> "Clip":
+        """Render and pin every frame (the cache grows to the clip length).
+
+        Use when a workload iterates the clip repeatedly — benchmark
+        repeats, multi-scheme comparisons on the same clip — and lazy
+        re-rendering would dominate the measured time.  Costs roughly one
+        frame of memory per clip frame.  Returns the clip for chaining.
+        """
+        self._cache_size = max(self._cache_size, self.n_frames)
+        for _ in self.frames():
+            pass
+        return self
+
     def motion_state(self, index: int) -> str:
         return self.scene.trajectory.motion_state_at(self.time_of(index))
 

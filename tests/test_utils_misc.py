@@ -8,13 +8,15 @@ from hypothesis import strategies as st
 from repro.utils import (
     block_reduce_sum,
     block_sad_map,
-    integral_image,
     ransac_linear,
     triangle_threshold,
     value_noise_1d,
     value_noise_2d,
 )
-from repro.utils.integral import shift_with_edge_pad
+
+# integral_image is a test-only reference utility, deliberately not part of
+# the repro.utils public surface.
+from repro.utils.integral import integral_image, shift_with_edge_pad
 
 
 class TestTriangleThreshold:
