@@ -22,6 +22,7 @@ import numpy as np
 from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.edge.detector import Detection
 from repro.edge.server import EdgeServer
+from repro.network.link import UplinkSimulator
 from repro.network.trace import BandwidthTrace
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.world.datasets import Clip
@@ -145,6 +146,31 @@ class AnalyticsScheme(abc.ABC):
         """Install an array sanitizer on this scheme instance; returns ``self``."""
         self.sanitizer = sanitizer
         return self
+
+    #: Optional uplink constructor override (see :meth:`use_uplink_factory`).
+    uplink_factory = None
+
+    def use_uplink_factory(self, factory) -> "AnalyticsScheme":
+        """Install (or with ``None``, remove) an uplink constructor override.
+
+        The streaming runtime (:mod:`repro.stream`) interposes on the
+        uplink by handing the scheme a factory; schemes themselves stay
+        unchanged because they build their link through :meth:`make_uplink`.
+        Returns ``self``.
+        """
+        self.uplink_factory = factory
+        return self
+
+    def make_uplink(self, trace: BandwidthTrace, *, hol_timeout: float | None = None) -> UplinkSimulator:
+        """Build the uplink this scheme transmits over.
+
+        Uses the installed :attr:`uplink_factory` when present, else a plain
+        :class:`~repro.network.link.UplinkSimulator`.  The scheme's tracer is
+        threaded through either way.
+        """
+        if self.uplink_factory is not None:
+            return self.uplink_factory(trace, hol_timeout=hol_timeout, tracer=self.tracer)
+        return UplinkSimulator(trace, hol_timeout=hol_timeout, tracer=self.tracer)
 
     def _finish_frame(self, run: SchemeRun, result: FrameResult) -> None:
         """Append ``result`` to ``run`` and mirror it into the trace.

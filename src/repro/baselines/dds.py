@@ -25,7 +25,6 @@ from repro.codec.motion import estimate_motion
 from repro.edge.detector import Detection
 from repro.edge.server import EdgeServer
 from repro.network.estimator import BandwidthEstimator
-from repro.network.link import UplinkSimulator
 from repro.network.trace import BandwidthTrace
 from repro.world.datasets import Clip
 
@@ -89,7 +88,7 @@ class DDSScheme(AnalyticsScheme):
         )
         tracker = MotionVectorTracker()
         estimator = BandwidthEstimator(window=1.0, initial_bps=trace.rate_at(0.0))
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=self.tracer)
+        uplink = self.make_uplink(trace, hol_timeout=cfg.hol_timeout)
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
         block = encoder.config.block
         grid_shape = (clip.intrinsics.height // block, clip.intrinsics.width // block)

@@ -21,7 +21,6 @@ from repro.codec.motion import estimate_motion
 from repro.core.tracking import MotionVectorTracker
 from repro.edge.detector import Detection
 from repro.edge.server import EdgeServer
-from repro.network.link import UplinkSimulator
 from repro.network.trace import BandwidthTrace
 from repro.world.datasets import Clip
 
@@ -71,7 +70,7 @@ class EAARScheme(AnalyticsScheme):
             sanitizer=self.sanitizer,
         )
         tracker = MotionVectorTracker()
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=self.tracer)
+        uplink = self.make_uplink(trace, hol_timeout=cfg.hol_timeout)
         pending = PendingResults()
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
         prev_raw = None

@@ -18,7 +18,6 @@ from repro.codec.motion import estimate_motion
 from repro.core.tracking import MotionVectorTracker
 from repro.edge.server import EdgeServer
 from repro.network.estimator import BandwidthEstimator
-from repro.network.link import UplinkSimulator
 from repro.network.trace import BandwidthTrace
 from repro.world.datasets import Clip
 
@@ -65,7 +64,7 @@ class O3Scheme(AnalyticsScheme):
         )
         tracker = MotionVectorTracker()
         estimator = BandwidthEstimator(window=1.0, initial_bps=trace.rate_at(0.0))
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=self.tracer)
+        uplink = self.make_uplink(trace, hol_timeout=cfg.hol_timeout)
         pending = PendingResults()
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
         prev_raw = None

@@ -113,10 +113,12 @@ def run_suite(
     """Measure every benchmark of ``suite`` and return the document.
 
     ``names`` optionally restricts the run to a subset of benchmark names
-    (unknown names raise, so typos fail loudly).
+    (unknown names raise, so typos fail loudly).  Explicit names resolve
+    against the full registry, so ``--only pipeline/stream`` works
+    without also passing ``--suite macro``.
     """
     scale = scale if scale is not None else BenchScale()
-    benches = all_benchmarks(suite)
+    benches = all_benchmarks("all" if names is not None else suite)
     if names is not None:
         by_name = {b.name: b for b in benches}
         unknown = [n for n in names if n not in by_name]

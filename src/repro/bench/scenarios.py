@@ -255,3 +255,64 @@ def _build_pipeline(scheme_key: str, scale: BenchScale) -> BenchCase:
 
 for _scheme in ("dive", "dds", "eaar", "o3"):
     benchmark(f"pipeline/{_scheme}", suite="macro", group="pipeline")(partial(_build_pipeline, _scheme))
+
+
+def _build_stream(scale: BenchScale) -> BenchCase:
+    """DiVE through the pipelined streaming runtime under backpressure.
+
+    Unlike the batch pipeline benchmarks the clip is *not* preloaded:
+    capture-stage render overlap is part of what streaming buys, so the
+    render cost belongs in the measurement.  A bounded drop-oldest queue
+    and a per-frame deadline exercise the backpressure path; the sealed
+    outcome counts are deterministic (virtual-time decisions), so they are
+    regression-gated as throughput work alongside frames/macroblocks.
+    """
+    from repro.core import DiVEScheme
+    from repro.edge.detector import QualityAwareDetector
+    from repro.edge.server import EdgeServer
+    from repro.experiments.config import ExperimentConfig as _EC
+    from repro.network import constant_trace, with_outages
+    from repro.stream import StreamConfig, StreamRunner
+    from repro.world import nuscenes_like
+
+    config = _EC(n_clips=1, n_frames=scale.macro_frames)
+    clip = nuscenes_like(scale.seed, n_frames=config.n_frames)
+    # Periodic outages (Fig 13 style) make the queue actually shed work —
+    # DiVE's rate control adapts to any steady rate, so a constant trace
+    # would never exercise the backpressure path.
+    trace = with_outages(
+        constant_trace(scaled_bandwidth(scale.macro_bandwidth_mbps, clip)),
+        outage_duration=0.2, interval=0.4, first_outage=0.2,
+    )
+    stream_config = StreamConfig(
+        workers=4, queue_capacity=2, policy="drop-oldest", deadline=0.25, watchdog=60.0,
+    )
+    blocks = (clip.intrinsics.height // _BLOCK) * (clip.intrinsics.width // _BLOCK)
+    case = BenchCase(
+        fn=lambda: None,
+        work={
+            "frames": float(scale.macro_frames),
+            "macroblocks": float(blocks * scale.macro_frames),
+        },
+    )
+
+    def fn() -> object:
+        tracer = Tracer(meta={"scheme": "dive", "clip": clip.name, "mode": "stream"})
+        scheme = DiVEScheme().use_tracer(tracer)
+        server = EdgeServer(QualityAwareDetector(seed=config.detector_seed), tracer=tracer)
+        result = StreamRunner(scheme, stream_config).run(clip, trace, server)
+        tracer.meta["stream"] = result.stats.summary()
+        case.tracers.append(tracer)
+        return result
+
+    # One reference run pins the deterministic outcome counts into the
+    # gated work dict (virtual-time decisions, identical on every repeat).
+    case.fn = fn
+    reference = fn()
+    case.tracers.clear()
+    case.work["delivered"] = float(reference.stats.delivered)
+    case.work["shed"] = float(reference.stats.dropped + reference.stats.degraded + reference.stats.late)
+    return case
+
+
+benchmark("pipeline/stream", suite="macro", group="pipeline")(_build_stream)

@@ -57,8 +57,19 @@ def _cmd_demo(args: argparse.Namespace) -> str:
     clip = maker(args.seed, n_frames=args.frames)
     trace = constant_trace(scaled_bandwidth(args.bandwidth, clip))
     sanitizer = ArraySanitizer() if args.sanitize else None
+    stream = None
+    if args.streaming:
+        from repro.stream import StreamConfig
+
+        stream = StreamConfig(
+            workers=args.stream_workers,
+            queue_capacity=args.queue_capacity,
+            policy=args.policy,
+            deadline=args.deadline,
+        )
     result = run_scheme(
-        DiVEScheme(), clip, trace, ground_truth=ground_truth_for(clip), sanitizer=sanitizer
+        DiVEScheme(), clip, trace, ground_truth=ground_truth_for(clip),
+        sanitizer=sanitizer, stream=stream,
     )
     rows = [
         ["mAP", result.map],
@@ -68,7 +79,20 @@ def _cmd_demo(args: argparse.Namespace) -> str:
         ["uplink kB", result.total_bytes / 1000],
         ["drop rate", result.drop_rate],
     ]
-    return format_table(["metric", "value"], rows, title=f"DiVE on {clip.name} @ {args.bandwidth:g} Mbps")
+    if result.stream is not None:
+        stats = result.stream
+        rows += [
+            ["stream delivered", stats.delivered],
+            ["stream degraded", stats.degraded],
+            ["stream dropped", stats.dropped],
+            ["stream late", stats.late],
+            ["stream blocked (ms)", stats.blocked_time * 1000],
+            ["stream wall (s)", stats.wall_time],
+        ]
+    title = f"DiVE on {clip.name} @ {args.bandwidth:g} Mbps"
+    if args.streaming:
+        title += f" [streaming: {args.policy}, {args.stream_workers} workers]"
+    return format_table(["metric", "value"], rows, title=title)
 
 
 def _cmd_table1(args: argparse.Namespace) -> str:
@@ -407,6 +431,27 @@ def build_parser() -> argparse.ArgumentParser:
                 "--sanitize",
                 action="store_true",
                 help="validate frame/MV/QP arrays at every stage boundary (repro.check)",
+            )
+            p.add_argument(
+                "--streaming",
+                action="store_true",
+                help="run through the pipelined streaming runtime (repro.stream)",
+            )
+            p.add_argument(
+                "--stream-workers", type=int, default=2,
+                help="capture render worker threads (streaming mode)",
+            )
+            p.add_argument(
+                "--queue-capacity", type=int, default=None,
+                help="uplink queue bound; omit for unbounded (batch-equivalent)",
+            )
+            p.add_argument(
+                "--policy", choices=("block", "degrade-qp", "drop-oldest"), default="block",
+                help="backpressure policy at a full uplink queue",
+            )
+            p.add_argument(
+                "--deadline", type=float, default=None,
+                help="per-frame deadline in seconds (capture -> result) for late accounting",
             )
         if name == "trace":
             p.add_argument("--scheme", choices=("dive", "dds", "eaar", "o3"), default="dive")

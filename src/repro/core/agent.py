@@ -109,7 +109,7 @@ class DiVEScheme(AnalyticsScheme):
         tracker = MotionVectorTracker()
         calibrator = FOECalibrator(clip.intrinsics)
         estimator = BandwidthEstimator(window=cfg.estimator_window, initial_bps=trace.rate_at(0.0))
-        uplink = UplinkSimulator(trace, hol_timeout=cfg.hol_timeout, tracer=tr)
+        uplink = self.make_uplink(trace, hol_timeout=cfg.hol_timeout)
         run = SchemeRun(scheme=self.name, clip_name=clip.name)
 
         force_intra = False

@@ -7,6 +7,7 @@ compute, a fixed model-inference latency, and a downlink that returns the
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,15 +80,21 @@ class EdgeServer:
         self.tracer = tracer
         self.sanitizer = sanitizer
         self._decoder = VideoDecoder(sanitizer=sanitizer)
+        # The decoder is stateful (reference frames), so concurrent callers —
+        # the streaming inference stage runs on its own thread — must not
+        # interleave decode/reset.  Uncontended acquisition keeps the
+        # synchronous path essentially free.
+        self._lock = threading.Lock()
 
     def reset(self) -> None:
         """Drop decoder state (new stream / after an intra refresh request)."""
-        self._decoder.reset()
+        with self._lock:
+            self._decoder.reset()
 
     def process(self, encoded: EncodedFrame, record: FrameRecord, *, arrival_time: float) -> InferenceResult:
         """Decode an uploaded frame, run inference, schedule the reply."""
         tr = self.tracer
-        with tr.span("server"):
+        with self._lock, tr.span("server"):
             with tr.span("decode"):
                 decoded = self._decoder.decode(encoded)
             if self.sanitizer.enabled:
@@ -112,7 +119,7 @@ class EdgeServer:
         tr = self.tracer
         if self.sanitizer.enabled:
             self.sanitizer.check(image, "server/image", name="uploaded image", block_aligned=True)
-        with tr.span("server"):
+        with self._lock, tr.span("server"):
             with tr.span("detect"):
                 detections = self.detector.detect(image, record)
         return InferenceResult(

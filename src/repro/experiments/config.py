@@ -71,6 +71,23 @@ class ExperimentConfig:
         :func:`repro.experiments.runner.sanitizer_for` turns this into a
         sanitizer instance.  Assert-only: results are bit-identical either
         way.
+    streaming:
+        Run schemes through the pipelined streaming runtime
+        (:mod:`repro.stream`) instead of the synchronous batch path.
+        With the default knobs below the streaming run is bit-identical
+        to batch (locked by the differential equivalence tests) — the
+        knobs only matter once a queue bound or deadline is set.
+    stream_workers:
+        Capture render worker threads of the streaming runtime.
+    stream_queue_capacity:
+        Uplink queue bound (``None`` = unbounded, the batch-equivalent
+        default).
+    stream_policy:
+        Backpressure policy at a full queue: ``block`` | ``degrade-qp``
+        | ``drop-oldest``.
+    stream_deadline:
+        Per-frame budget in seconds (capture → result back at the
+        agent); ``None`` disables late accounting.
     """
 
     n_clips: int = 3
@@ -78,6 +95,25 @@ class ExperimentConfig:
     detector_seed: int = 7
     tracing: bool = False
     sanitize: bool = False
+    streaming: bool = False
+    stream_workers: int = 1
+    stream_queue_capacity: int | None = None
+    stream_policy: str = "block"
+    stream_deadline: float | None = None
+
+    def stream_config(self):
+        """The :class:`repro.stream.StreamConfig` these knobs describe, or
+        ``None`` when :attr:`streaming` is off (the batch path)."""
+        if not self.streaming:
+            return None
+        from repro.stream import StreamConfig
+
+        return StreamConfig(
+            workers=self.stream_workers,
+            queue_capacity=self.stream_queue_capacity,
+            policy=self.stream_policy,
+            deadline=self.stream_deadline,
+        )
 
 
 @dataclass(frozen=True)

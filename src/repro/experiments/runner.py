@@ -45,6 +45,10 @@ class EvaluationResult:
         Fraction of frames whose upload was abandoned.
     run:
         The underlying per-frame results.
+    stream:
+        Streaming truth accounting (:class:`repro.stream.StreamStats`)
+        when the run went through the pipelined runtime; ``None`` for
+        batch runs.
     """
 
     scheme: str
@@ -54,6 +58,7 @@ class EvaluationResult:
     total_bytes: int
     drop_rate: float
     run: SchemeRun = field(repr=False)
+    stream: object | None = field(default=None, repr=False)
 
     @property
     def map(self) -> float:
@@ -96,6 +101,7 @@ def run_scheme(
     ground_truth: list[list[Detection]] | None = None,
     tracer: Tracer | NullTracer | None = None,
     sanitizer: ArraySanitizer | NullSanitizer | None = None,
+    stream=None,
 ) -> EvaluationResult:
     """Run one scheme on one clip and evaluate it.
 
@@ -108,6 +114,11 @@ def run_scheme(
     threaded the same way so stage boundaries validate their arrays.  When
     omitted the scheme keeps whatever tracer/sanitizer it already has (the
     no-ops by default).
+
+    ``stream`` — a :class:`repro.stream.StreamConfig` (or ``True`` for the
+    defaults) — routes the run through the pipelined streaming runtime
+    (:class:`repro.stream.StreamRunner`); the result then carries the
+    streaming truth accounting in :attr:`EvaluationResult.stream`.
     """
     if tracer is not None:
         scheme.use_tracer(tracer)
@@ -122,8 +133,22 @@ def run_scheme(
         tracer=scheme.tracer,
         sanitizer=scheme.sanitizer,
     )
-    run = scheme.run(clip, trace, server)
-    return evaluate_run(run, clip, detector_seed=detector_seed, ground_truth=ground_truth)
+    stats = None
+    if stream is not None and stream is not False:
+        from repro.stream import StreamConfig, StreamRunner
+
+        config = StreamConfig() if stream is True else stream
+        result = StreamRunner(scheme, config).run(clip, trace, server)
+        run, stats = result.run, result.stats
+        if tracer is not None and tracer.enabled:
+            tracer.meta.setdefault("stream", []).append(
+                {"scheme": scheme.name, "clip": clip.name, **stats.summary()}
+            )
+    else:
+        run = scheme.run(clip, trace, server)
+    evaluated = evaluate_run(run, clip, detector_seed=detector_seed, ground_truth=ground_truth)
+    evaluated.stream = stats
+    return evaluated
 
 
 def evaluate_run(

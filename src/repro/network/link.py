@@ -126,6 +126,17 @@ class UplinkSimulator:
         """Time at which the link becomes idle again."""
         return self._busy_until
 
+    def clone(self) -> "UplinkSimulator":
+        """An independent, untraced copy with the same trace/timer/backlog.
+
+        The streaming backpressure queue uses clones to *forecast* when the
+        link would drain its current occupants without mutating the live
+        simulator (or double-counting tracer gauges).
+        """
+        twin = UplinkSimulator(self.trace, hol_timeout=self.hol_timeout)
+        twin._busy_until = self._busy_until
+        return twin
+
     def queue_wait(self, enqueue_time: float) -> float:
         """How long a frame offered at ``enqueue_time`` would wait before
         its first bit could be sent.  Agents use this to skip uploading

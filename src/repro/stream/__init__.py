@@ -1,0 +1,36 @@
+"""Pipelined streaming runtime (capture / agent / uplink / edge stages).
+
+See :mod:`repro.stream.runner` for the architecture and
+:mod:`repro.stream.queues` for the backpressure policies and the
+belief/truth timeline split that keeps relaxed streaming runs
+bit-identical to the batch runner.
+"""
+
+from repro.stream.clock import VirtualClock
+from repro.stream.messages import FrameJob, QueueOutcome, StreamFrameRecord, StreamStats
+from repro.stream.queues import POLICIES, Admission, BackpressureQueue
+from repro.stream.runner import (
+    StreamConfig,
+    StreamError,
+    StreamResult,
+    StreamRunner,
+    StreamTimeoutError,
+    StreamingUplink,
+)
+
+__all__ = [
+    "Admission",
+    "BackpressureQueue",
+    "FrameJob",
+    "POLICIES",
+    "QueueOutcome",
+    "StreamConfig",
+    "StreamError",
+    "StreamFrameRecord",
+    "StreamResult",
+    "StreamRunner",
+    "StreamStats",
+    "StreamTimeoutError",
+    "StreamingUplink",
+    "VirtualClock",
+]

@@ -75,6 +75,26 @@ class Clip:
             self._cache.popitem(last=False)
         return record
 
+    def cached(self, index: int) -> FrameRecord | None:
+        """The cached record for frame ``index``, or ``None`` — never renders.
+
+        Unlike :meth:`frame` this does not reorder the LRU, so concurrent
+        readers (the streaming capture stage) can probe a preloaded clip
+        without mutating shared state.
+        """
+        return self._cache.get(index)
+
+    def render_at(self, index: int) -> FrameRecord:
+        """Render frame ``index`` without touching the shared LRU cache.
+
+        The renderer itself is pure (scene geometry is immutable after
+        construction), so this is safe to call from several threads at
+        once; :meth:`frame` is not, because it mutates the cache.
+        """
+        if not 0 <= index < self.n_frames:
+            raise IndexError(f"frame {index} outside clip of {self.n_frames} frames")
+        return self._renderer.render(self.scene, self.time_of(index), frame_index=index)
+
     def frames(self):
         """Iterate over all frames in order."""
         for i in range(self.n_frames):

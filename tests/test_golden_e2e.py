@@ -6,65 +6,26 @@ QP (from the frame trace) and per-frame detection counts.  Any silent
 behaviour drift in the codec, core pipeline, network model or detector —
 however small — changes the digest and fails this test loudly.
 
+The run itself (clip set, fixture, digest function) lives in
+``tests/conftest.py`` so the streaming differential tests
+(``test_stream_equivalence.py``) can assert bit-identity against the same
+digest without re-rendering anything.
+
 If a change *intentionally* alters behaviour (a codec fix, a new QP
 policy, a detector recalibration), rerun with ``-s`` to print the new
 digest and update ``GOLDEN_DIGEST`` in the same PR, stating why.
 """
 
-import hashlib
+from conftest import GOLDEN_CLIP_SEEDS, GOLDEN_N_FRAMES, e2e_digest
 
-import pytest
-
-from repro.core import DiVEScheme
-from repro.experiments import ground_truth_for, run_scheme, scaled_bandwidth
-from repro.network import constant_trace
-from repro.obs import Tracer
-from repro.world import nuscenes_like
-
-N_CLIPS = 2
-N_FRAMES = 12
-BANDWIDTH_MBPS = 2.0
+N_CLIPS = len(GOLDEN_CLIP_SEEDS)
+N_FRAMES = GOLDEN_N_FRAMES
 
 GOLDEN_DIGEST = "815bb9730b7fac3d9c5ddab631064d6047b11e0a4fd32891684d956362f2cf52"
 
 
-@pytest.fixture(scope="module")
-def golden_run():
-    """One traced DiVE run over the seeded clip set."""
-    tracer = Tracer()
-    results = []
-    for seed in range(N_CLIPS):
-        clip = nuscenes_like(seed, n_frames=N_FRAMES)
-        trace = constant_trace(scaled_bandwidth(BANDWIDTH_MBPS, clip))
-        results.append(
-            run_scheme(
-                DiVEScheme(),
-                clip,
-                trace,
-                ground_truth=ground_truth_for(clip),
-                tracer=tracer,
-            )
-        )
-    return results, tracer
-
-
-def compute_digest(results, tracer):
-    parts = []
-    for result in results:
-        for f in result.run.frames:
-            parts.append(
-                f"{result.clip_name}/{f.index}:bytes={f.bytes_sent}"
-                f":ndet={len(f.detections)}:src={f.source}"
-            )
-    for record in tracer.frames:
-        # qp_mean is quantiser state, rounded so the digest keys on real
-        # drift, not on float printing.
-        parts.append(f"qp/{record.index}={record.counters.get('qp_mean', -1.0):.3f}")
-    return hashlib.sha256(";".join(parts).encode()).hexdigest()
-
-
-def test_run_shape(golden_run):
-    results, tracer = golden_run
+def test_run_shape(golden_batch_run):
+    results, tracer = golden_batch_run
     assert len(results) == N_CLIPS
     assert all(len(r.run.frames) == N_FRAMES for r in results)
     # Every frame of every clip produced a trace record with QP + bits.
@@ -74,9 +35,9 @@ def test_run_shape(golden_run):
         assert 0.0 <= record.counters["qp_mean"] <= 51.0
 
 
-def test_golden_digest(golden_run):
-    results, tracer = golden_run
-    digest = compute_digest(results, tracer)
+def test_golden_digest(golden_batch_run):
+    results, tracer = golden_batch_run
+    digest = e2e_digest(results, tracer)
     print(f"\ngolden e2e digest: {digest}")
     assert digest == GOLDEN_DIGEST, (
         "end-to-end behaviour drifted: the seeded DiVE run no longer "

@@ -1,0 +1,118 @@
+"""Hypothesis property tests for the backpressure queue.
+
+Invariants, for every policy / capacity / workload:
+
+- **conservation** — every submitted job is sealed with exactly one status
+  from {delivered, degraded, dropped};
+- **order** — jobs that reach the wire transmit in submission order
+  (monotone start and finish times);
+- **capacity** — at no instant do more than ``capacity`` jobs hold a queue
+  slot (occupancy measured from the sealed ``[admit, release)`` intervals).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import constant_trace
+from repro.stream import POLICIES, BackpressureQueue
+
+pytestmark = pytest.mark.timeout(300)
+
+
+workloads = st.builds(
+    lambda sizes, gaps: [
+        (i, size, sum(gaps[: i + 1]))
+        for i, (size, gap) in enumerate(zip(sizes, gaps))
+    ],
+    st.lists(st.integers(1, 40_000), min_size=1, max_size=40),
+    st.lists(st.floats(0.0, 0.5, allow_nan=False), min_size=40, max_size=40),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    jobs=workloads,
+    capacity=st.one_of(st.none(), st.integers(1, 4)),
+    policy=st.sampled_from(POLICIES),
+    rate=st.floats(20_000.0, 2_000_000.0),
+    hol=st.one_of(st.none(), st.floats(0.02, 0.5)),
+)
+def test_queue_invariants(jobs, capacity, policy, rate, hol):
+    queue = BackpressureQueue(
+        constant_trace(rate), capacity=capacity, policy=policy, hol_timeout=hol,
+    )
+    admissions = [queue.submit(i, size, t) for i, size, t in jobs]
+    outcomes = queue.close()
+
+    # Conservation: one sealed outcome per submission, exactly one status.
+    assert len(outcomes) == len(jobs)
+    assert [o.seq for o in outcomes] == [a.seq for a in admissions]
+    for outcome in outcomes:
+        assert outcome.status in ("delivered", "degraded", "dropped")
+        if outcome.status == "dropped":
+            assert outcome.sent_bytes == 0
+            assert outcome.reason in ("hol", "evicted", "capacity")
+        else:
+            assert outcome.sent_bytes > 0
+            assert outcome.finish_time == outcome.release_time
+
+    # Order: whatever reached the wire did so FIFO in submission order.
+    on_wire = [o for o in outcomes if o.status in ("delivered", "degraded")]
+    starts = [o.start_time for o in on_wire]
+    finishes = [o.finish_time for o in on_wire]
+    assert starts == sorted(starts)
+    assert finishes == sorted(finishes)
+    for o in on_wire:
+        assert o.enqueue_time <= o.start_time < o.finish_time
+
+    # Capacity: occupancy from [admit, release) intervals never exceeds k.
+    if capacity is not None:
+        intervals = [
+            (o.admit_time, o.release_time)
+            for o in outcomes
+            if o.release_time > o.admit_time
+        ]
+        for probe, _ in intervals:
+            occupancy = sum(1 for a, r in intervals if a <= probe < r)
+            assert occupancy <= capacity
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    jobs=workloads,
+    capacity=st.one_of(st.none(), st.integers(1, 4)),
+    policy=st.sampled_from(POLICIES),
+    rate=st.floats(20_000.0, 2_000_000.0),
+)
+def test_queue_is_replayable(jobs, capacity, policy, rate):
+    """Same submissions → identical sealed outcomes (pure virtual time)."""
+
+    def run():
+        queue = BackpressureQueue(constant_trace(rate), capacity=capacity, policy=policy)
+        for i, size, t in jobs:
+            queue.submit(i, size, t)
+        return [o.key() for o in queue.close()]
+
+    assert run() == run()
+
+
+@settings(max_examples=40, deadline=None)
+@given(jobs=workloads, rate=st.floats(20_000.0, 2_000_000.0))
+def test_unbounded_queue_matches_plain_fifo(jobs, rate):
+    """capacity=None degenerates to UplinkSimulator arithmetic exactly."""
+    from repro.network.link import UplinkSimulator
+
+    queue = BackpressureQueue(constant_trace(rate), capacity=None, hol_timeout=0.2)
+    fifo = UplinkSimulator(constant_trace(rate), hol_timeout=0.2)
+    for i, size, t in jobs:
+        queue.submit(i, size, t)
+    for outcome, (i, size, t) in zip(queue.close(), jobs):
+        tx = fifo.transmit(i, size, t)
+        assert outcome.start_time == tx.start_time
+        if tx.dropped:
+            assert outcome.status == "dropped"
+            assert outcome.reason == "hol"
+        else:
+            assert outcome.status == "delivered"
+            assert outcome.finish_time == tx.finish_time
