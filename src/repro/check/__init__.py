@@ -1,19 +1,37 @@
-"""Project-specific static analysis + runtime numpy sanitizer.
+"""Project-specific static analysis + runtime sanitizers.
 
 Two halves of one correctness net:
 
-- **Static** (:mod:`repro.check.engine` / :mod:`repro.check.rules`): an
-  AST rule engine with ~10 DiVE-specific rules (seeded RNG discipline,
-  perf_counter-only hot paths, explicit codec dtypes, QP bounds,
-  bits-vs-bytes hygiene, ...).  Run it as ``repro lint [--format json]
-  [paths]``; suppress inline with ``# repro: noqa[S001]``.
-- **Runtime** (:mod:`repro.check.sanitize`): an opt-in array sanitizer
-  (``ExperimentConfig(sanitize=True)``) asserting finiteness, dtype and
-  macroblock alignment at agent/encoder/decoder/server stage boundaries.
+- **Static**: an AST rule engine (:mod:`repro.check.engine`) with the
+  per-node DiVE rules S001–S011 (:mod:`repro.check.rules`: seeded RNG
+  discipline, perf_counter-only hot paths, explicit codec dtypes, QP
+  bounds, bits-vs-bytes hygiene, ...) plus a semantic layer — a project
+  symbol table (:mod:`repro.check.symbols`), call graph
+  (:mod:`repro.check.callgraph`) and intraprocedural dataflow pass
+  (:mod:`repro.check.dataflow`) powering S012 lock discipline
+  (:mod:`repro.check.concurrency`), S013 unit flow
+  (:mod:`repro.check.units`) and S014 wrapped entropy
+  (:mod:`repro.check.determinism`).  Run it as ``repro lint [--format
+  json] [--baseline FILE] [paths]``; suppress inline with
+  ``# repro: noqa[S001]``.
+- **Runtime**: an opt-in array sanitizer (:mod:`repro.check.sanitize`,
+  ``ExperimentConfig(sanitize=True)``) asserting finiteness, dtype and
+  macroblock alignment at stage boundaries, and a lock-order sanitizer
+  (:mod:`repro.check.lockorder`, same switch) that turns lock-order
+  inversions into immediate :class:`LockOrderError` instead of
+  once-in-a-thousand-runs deadlocks.
 
 See the "Static analysis & sanitizer" sections of README.md / API.md.
 """
 
+from repro.check.baseline import (
+    BaselineComparison,
+    BaselineError,
+    compare_baseline,
+    write_baseline,
+)
+from repro.check.callgraph import CallGraph, CallSite, build_callgraph, describe_chain
+from repro.check.dataflow import TaintModel, run_dataflow
 from repro.check.engine import (
     CheckResult,
     Finding,
@@ -25,24 +43,47 @@ from repro.check.engine import (
     check_source,
     register,
 )
+from repro.check.lockorder import (
+    NULL_LOCK_SANITIZER,
+    LockOrderError,
+    LockOrderSanitizer,
+    NullLockSanitizer,
+)
 from repro.check.report import render_json, render_text, rule_table
 from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer, SanitizeError
+from repro.check.symbols import ProjectModel, build_project
 
 __all__ = [
     "ArraySanitizer",
+    "BaselineComparison",
+    "BaselineError",
+    "CallGraph",
+    "CallSite",
     "CheckResult",
     "Finding",
+    "LockOrderError",
+    "LockOrderSanitizer",
     "ModuleContext",
+    "NULL_LOCK_SANITIZER",
     "NULL_SANITIZER",
+    "NullLockSanitizer",
     "NullSanitizer",
+    "ProjectModel",
     "Rule",
     "SanitizeError",
+    "TaintModel",
     "all_rules",
+    "build_callgraph",
+    "build_project",
     "check_file",
     "check_paths",
     "check_source",
+    "compare_baseline",
+    "describe_chain",
     "register",
     "render_json",
     "render_text",
     "rule_table",
+    "run_dataflow",
+    "write_baseline",
 ]

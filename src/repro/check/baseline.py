@@ -1,0 +1,129 @@
+"""Findings baselines: land a strict rule report-only, tighten it later.
+
+A new semantic rule may surface dozens of pre-existing findings that are
+real but not this PR's job.  The baseline workflow (mirroring
+``repro bench --compare``) lets the gate hold the line without blocking:
+
+1. ``repro lint --write-baseline lint_baseline.json src tests`` records
+   the current findings;
+2. CI runs ``repro lint --baseline lint_baseline.json ...``: **new**
+   findings (not in the baseline) fail with exit code 2, grandfathered
+   ones are reported but tolerated;
+3. as old findings get fixed, the comparison lists them as resolved —
+   rewrite the baseline to ratchet.
+
+Findings are matched by a line-number-free fingerprint
+(``rule::path::message``) counted as a multiset, so unrelated edits that
+shift code up or down do not invalidate the baseline, while a second
+occurrence of a grandfathered finding in the same file still counts as
+new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.check.engine import CheckResult, Finding
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineComparison",
+    "BaselineError",
+    "compare_baseline",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+]
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable or has the wrong schema."""
+
+
+def fingerprint(finding: Finding) -> str:
+    """Line-number-free identity of a finding: ``rule::path::message``."""
+    return f"{finding.rule}::{finding.path}::{finding.message}"
+
+
+def _counts(findings: Iterable[Finding]) -> Counter:
+    return Counter(fingerprint(f) for f in findings)
+
+
+def write_baseline(result: CheckResult, path: str | Path) -> int:
+    """Record ``result``'s findings at ``path``; returns how many."""
+    counts = _counts(result.findings)
+    doc = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "total": sum(counts.values()),
+        "counts": dict(sorted(counts.items())),
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return doc["total"]
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """The fingerprint multiset recorded at ``path``."""
+    try:
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path}: expected schema version {BASELINE_SCHEMA_VERSION}, "
+            f"got {doc.get('version') if isinstance(doc, dict) else type(doc).__name__}"
+        )
+    counts = doc.get("counts")
+    if not isinstance(counts, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) and v > 0 for k, v in counts.items()
+    ):
+        raise BaselineError(f"baseline {path}: malformed counts table")
+    return Counter(counts)
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """Current findings split against a recorded baseline."""
+
+    new: list[Finding]  #: findings not covered by the baseline — these fail
+    grandfathered: list[Finding]  #: known findings, tolerated
+    resolved: list[str]  #: baseline fingerprints no longer present
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.new)} new",
+            f"{len(self.grandfathered)} grandfathered",
+            f"{len(self.resolved)} resolved",
+        ]
+        return "baseline comparison: " + ", ".join(parts)
+
+
+def compare_baseline(result: CheckResult, path: str | Path) -> BaselineComparison:
+    """Split ``result``'s findings into new vs. grandfathered vs. resolved.
+
+    Within one fingerprint the earliest occurrences (by line) are deemed
+    grandfathered up to the baselined count; any excess is new.
+    """
+    baseline = load_baseline(path)
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in sorted(result.findings, key=lambda f: f.sort_key):
+        fp = fingerprint(finding)
+        if budget[fp] > 0:
+            budget[fp] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    current = _counts(result.findings)
+    resolved = sorted(fp for fp, n in baseline.items() if current[fp] < n)
+    return BaselineComparison(new=new, grandfathered=grandfathered, resolved=resolved)

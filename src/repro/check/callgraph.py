@@ -1,0 +1,291 @@
+"""Call-graph builder over a :class:`~repro.check.symbols.ProjectModel`.
+
+Per-node lint rules only see a call expression; the semantic analyzers
+need to know what it *reaches*: an unseeded RNG hidden behind two wrapper
+functions, a wall-clock read behind a helper.  The call graph answers
+that:
+
+- every function/method (plus a synthetic ``<module>`` node per file for
+  top-level statements) becomes a caller node;
+- each call site is resolved to an **internal** callee (a project
+  function/method qualname) or an **external** canonical dotted name
+  (``numpy.random.default_rng``, ``time.time``) with import aliases
+  expanded;
+- resolution understands direct names, aliased imports, ``self.method``,
+  ``self.attr.method`` via constructor types recorded in the symbol
+  table, locals assigned from constructors (``w = Worker(); w.run()``)
+  and one level of factory indirection (``w = make_worker()`` where the
+  factory's body ``return Worker(...)``);
+- unresolvable attribute calls are dropped rather than guessed — the
+  analyzers stay conservative (no finding) instead of noisy.
+
+Nested functions and lambdas are *inlined* into their enclosing
+definition: a closure handed to ``threading.Thread`` counts as code its
+definer may run.
+
+:meth:`CallGraph.reach` does the BFS the analyzers share: from a caller,
+find the shortest internal-edge path to a call site matching a predicate,
+returning the whole chain so findings can name it
+(``a() -> b() -> time.time()``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.check.symbols import ClassInfo, FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["CallGraph", "CallSite", "build_callgraph", "describe_chain"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call expression inside one caller."""
+
+    caller: str  #: caller qualname (or ``<module>`` node)
+    callee: str  #: internal qualname or canonical external dotted name
+    internal: bool  #: True when ``callee`` is a project function/method
+    node: ast.Call  #: the call expression, for line/col reporting
+
+    @property
+    def line(self) -> int:
+        return getattr(self.node, "lineno", 1)
+
+
+class CallGraph:
+    """Resolved call sites per caller, with reachability search."""
+
+    def __init__(self) -> None:
+        self.sites: dict[str, list[CallSite]] = {}
+
+    def add(self, site: CallSite) -> None:
+        self.sites.setdefault(site.caller, []).append(site)
+
+    def callees(self, caller: str) -> list[CallSite]:
+        return self.sites.get(caller, [])
+
+    def internal_callees(self, caller: str) -> list[CallSite]:
+        return [s for s in self.callees(caller) if s.internal]
+
+    def external_callees(self, caller: str) -> list[CallSite]:
+        return [s for s in self.callees(caller) if not s.internal]
+
+    def callers_of(self, callee: str) -> list[CallSite]:
+        return [s for sites in self.sites.values() for s in sites if s.callee == callee]
+
+    def reach(
+        self,
+        start: str,
+        match: Callable[[CallSite], bool],
+        *,
+        max_depth: int = 12,
+    ) -> list[CallSite] | None:
+        """Shortest chain of call sites from ``start`` to a matching site.
+
+        The returned list starts with a call site *inside* ``start`` and
+        ends with the matching site; ``None`` when nothing matches within
+        ``max_depth`` internal hops.  Matching sites directly inside
+        ``start`` give a single-element chain.
+        """
+        frontier: list[tuple[str, list[CallSite]]] = [(start, [])]
+        visited = {start}
+        for _ in range(max_depth):
+            next_frontier: list[tuple[str, list[CallSite]]] = []
+            for caller, chain in frontier:
+                for site in self.callees(caller):
+                    if match(site):
+                        return chain + [site]
+                    if site.internal and site.callee not in visited:
+                        visited.add(site.callee)
+                        next_frontier.append((site.callee, chain + [site]))
+            if not next_frontier:
+                return None
+            frontier = next_frontier
+        return None
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _local_types(
+    project: ProjectModel, module: ModuleInfo, cls: ClassInfo | None, func: ast.AST
+) -> dict[str, ClassInfo]:
+    """Map local names to classes: constructor calls, ``self.attr`` aliases
+    and single-level factory returns."""
+    types: dict[str, ClassInfo] = {}
+    for node in ast.walk(func):
+        target = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            target, value = node.targets[0].id, node.value
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name) and node.value is not None:
+            target, value = node.target.id, node.value
+        else:
+            continue
+        if isinstance(value, ast.Call):
+            name = _dotted(value.func)
+            if name is None:
+                continue
+            resolved_cls = project.resolve_class(module, name)
+            if resolved_cls is not None:
+                types[target] = resolved_cls
+                continue
+            resolved = project.resolve(module, name)
+            if resolved and resolved[0] == "function":
+                factory = project.functions.get(resolved[1])
+                for ctor in (factory.returns if factory else ()):
+                    owner = project.modules.get(factory.module)
+                    made = project.resolve_class(owner, ctor) if owner else None
+                    if made is not None:
+                        types[target] = made
+                        break
+        elif (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and cls is not None
+        ):
+            ctor = cls.attr_ctors.get(value.attr)
+            made = project.resolve_class(module, ctor) if ctor else None
+            if made is not None:
+                types[target] = made
+    return types
+
+
+def _resolve_call(
+    project: ProjectModel,
+    module: ModuleInfo,
+    cls: ClassInfo | None,
+    locals_: dict[str, ClassInfo],
+    call: ast.Call,
+) -> tuple[str, bool] | None:
+    """(callee name, is_internal) for one call expression, or ``None``."""
+    func = call.func
+    name = _dotted(func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+
+    # self.method() / self.attr.method()
+    if head == "self" and cls is not None and rest:
+        attr_chain = rest.split(".")
+        if len(attr_chain) == 1:
+            method = project.method_on(cls, attr_chain[0])
+            if method is not None:
+                return (method.qualname, True)
+            return None
+        if len(attr_chain) == 2:
+            ctor = cls.attr_ctors.get(attr_chain[0])
+            owner = project.resolve_class(module, ctor) if ctor else None
+            if owner is not None:
+                method = project.method_on(owner, attr_chain[1])
+                if method is not None:
+                    return (method.qualname, True)
+            return None
+        return None
+
+    # Locals with known class types: w = Worker(); w.run()
+    if head in locals_ and rest:
+        attr_chain = rest.split(".")
+        if len(attr_chain) == 1:
+            method = project.method_on(locals_[head], attr_chain[0])
+            if method is not None:
+                return (method.qualname, True)
+        return None
+
+    resolved = project.resolve(module, name)
+    if resolved is None:
+        return None
+    kind, qual = resolved
+    if kind == "function":
+        return (qual, True)
+    if kind == "class":
+        info = project.classes.get(qual)
+        init = project.method_on(info, "__init__") if info else None
+        if init is not None:
+            return (init.qualname, True)
+        return (qual, True)
+    return (qual, False)
+
+
+class _Collector(ast.NodeVisitor):
+    """Walks one module attributing calls to their enclosing definition."""
+
+    def __init__(self, project: ProjectModel, module: ModuleInfo, graph: CallGraph):
+        self.project = project
+        self.module = module
+        self.graph = graph
+        self.caller = f"{module.name}.<module>"
+        self.cls: ClassInfo | None = None
+        self.locals: dict[str, ClassInfo] = {}
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        prev = self.cls
+        self.cls = self.module.classes.get(node.name) if prev is None else None
+        self.generic_visit(node)
+        self.cls = prev
+
+    def _visit_function(self, node: ast.AST) -> None:
+        owner = self.cls.methods.get(node.name) if self.cls is not None else None
+        if owner is None and self.cls is None:
+            fn = self.module.functions.get(node.name)
+            owner = fn if fn is not None and fn.node is node else None
+        if owner is None:
+            # Nested def / unknown: inline into the current caller.
+            self.generic_visit(node)
+            return
+        prev_caller, prev_locals = self.caller, self.locals
+        self.caller = owner.qualname
+        self.locals = _local_types(self.project, self.module, self.cls, node)
+        self.generic_visit(node)
+        self.caller, self.locals = prev_caller, prev_locals
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = _resolve_call(self.project, self.module, self.cls, self.locals, node)
+        if resolved is not None:
+            callee, internal = resolved
+            self.graph.add(CallSite(caller=self.caller, callee=callee, internal=internal, node=node))
+        self.generic_visit(node)
+
+
+def build_callgraph(project: ProjectModel, modules: Iterable[ModuleInfo] | None = None) -> CallGraph:
+    """Build (or fetch the cached) call graph for a project.
+
+    The full-project graph is cached on ``project.cache['callgraph']`` so
+    the three semantic analyzers share one build per lint run.
+    """
+    if modules is None:
+        cached = project.cache.get("callgraph")
+        if isinstance(cached, CallGraph):
+            return cached
+    graph = CallGraph()
+    for module in project.modules.values() if modules is None else modules:
+        _Collector(project, module, graph).visit(module.tree)
+    if modules is None:
+        project.cache["callgraph"] = graph
+    return graph
+
+
+def describe_chain(chain: list[CallSite]) -> str:
+    """Human-readable ``a() -> b() -> time.time()`` chain description."""
+    if not chain:
+        return ""
+    hops = [site.callee.split(".<module>")[0] for site in chain]
+    short = [h.split(".")[-1] if "." in h and i < len(hops) - 1 else h for i, h in enumerate(hops)]
+    # Keep the final (matched) callee fully qualified; intermediate hops short.
+    return " -> ".join(f"{name}()" for name in short)

@@ -1,0 +1,266 @@
+"""Intraprocedural forward dataflow: reaching taints over one function.
+
+The single-expression rules (e.g. S005 bits/bytes) only see names that
+appear *in the same statement*; this pass follows values through local
+assignments, so ``payload = size_bytes`` two branches ago still carries
+its ``bytes`` taint when it later meets ``header_bits``:
+
+- statements are interpreted in order; ``if``/``try`` branches are
+  evaluated on copies of the environment and merged by union;
+- ``for``/``while`` bodies run twice so loop-carried taints reach their
+  first use (a cheap fixpoint — taint sets only grow);
+- the **escape model** is conservative: names rebound from unknown calls
+  lose their taints, names declared ``global``/``nonlocal`` are never
+  tracked, subscript/attribute *stores* do not bind (attribute loads are
+  re-seeded by name on every read), and passing a local to a call never
+  invalidates it (unit taints ride scalars, which are immutable).
+
+Clients implement :class:`TaintModel`: seed taints from identifiers,
+attributes and known calls; observe binops/comparisons/assignments (this
+is where a units checker records findings); and decide the taint an
+assignment binds.  :func:`run_dataflow` drives the walk.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet
+
+__all__ = ["EMPTY", "TaintModel", "run_dataflow"]
+
+Taints = FrozenSet[str]
+
+#: The empty taint set (untainted / unknown).
+EMPTY: Taints = frozenset()
+
+
+class TaintModel:
+    """Client hooks for one dataflow run.  Override what you need."""
+
+    def name_taint(self, name: str) -> Taints:
+        """Seed taints of an identifier that has no tracked binding."""
+        return EMPTY
+
+    def attr_taint(self, node: ast.Attribute, base: Taints) -> Taints:
+        """Taints of an attribute load (default: seed by attribute name)."""
+        return self.name_taint(node.attr)
+
+    def call_taint(self, node: ast.Call, dotted: str | None, arg_taints: list[Taints]) -> Taints:
+        """Taints of a call result (default: unknown)."""
+        return EMPTY
+
+    def binop(self, node: ast.BinOp, left: Taints, right: Taints) -> Taints:
+        """Observe (and type) a binary operation; default: union."""
+        return left | right
+
+    def compare(self, node: ast.Compare, taints: list[Taints]) -> None:
+        """Observe a comparison (taints of left + each comparator)."""
+
+    def assign_name(self, name: str, stmt: ast.stmt, value: Taints) -> Taints:
+        """The taint set an assignment binds to ``name``."""
+        seeded = self.name_taint(name)
+        return seeded if seeded else value
+
+    def assign_attr(self, node: ast.Attribute, stmt: ast.stmt, value: Taints) -> None:
+        """Observe a store into an attribute (``self.x = ...``)."""
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class _Interp:
+    def __init__(self, model: TaintModel):
+        self.model = model
+        self.env: dict[str, Taints] = {}
+        self.frozen: set[str] = set()  # global/nonlocal — never tracked
+        self.stmt: ast.stmt | None = None  # statement being interpreted
+
+    # ---------------------------------------------------------- expressions
+
+    def eval(self, node: ast.AST | None) -> Taints:
+        if node is None:
+            return EMPTY
+        if isinstance(node, ast.Name):
+            if node.id in self.frozen:
+                return self.model.name_taint(node.id)
+            if node.id in self.env:
+                return self.env[node.id]
+            return self.model.name_taint(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.model.attr_taint(node, self.eval(node.value))
+        if isinstance(node, ast.Call):
+            args = [self.eval(a) for a in node.args]
+            args += [self.eval(kw.value) for kw in node.keywords]
+            return self.model.call_taint(node, _dotted(node.func), args)
+        if isinstance(node, ast.BinOp):
+            return self.model.binop(node, self.eval(node.left), self.eval(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for v in node.values:
+                out |= self.eval(v)
+            return out
+        if isinstance(node, ast.Compare):
+            taints = [self.eval(node.left)] + [self.eval(c) for c in node.comparators]
+            self.model.compare(node, taints)
+            return EMPTY
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            out = EMPTY
+            for e in node.elts:
+                out |= self.eval(e)
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for v in node.values:
+                out |= self.eval(v)
+            return out
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value)
+            if isinstance(node.target, ast.Name):
+                self._bind(node.target.id, taint)
+            return taint
+        if isinstance(node, (ast.Constant, ast.Lambda, ast.JoinedStr, ast.FormattedValue)):
+            return EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            # Comprehensions: evaluate sub-expressions for observation only.
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.BinOp, ast.Compare)) and sub is not node:
+                    self.eval(sub)
+            return EMPTY
+        # Anything else: unknown.
+        return EMPTY
+
+    # ----------------------------------------------------------- statements
+
+    def _bind(self, name: str, taint: Taints) -> None:
+        if name not in self.frozen:
+            self.env[name] = taint
+
+    def _assign_target(self, target: ast.AST, stmt: ast.stmt, value: Taints, value_node: ast.AST | None) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, self.model.assign_name(target.id, stmt, value))
+        elif isinstance(target, ast.Attribute):
+            self.model.assign_attr(target, stmt, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            # Destructuring: distribute elementwise when shapes line up.
+            elts = target.elts
+            value_elts = value_node.elts if isinstance(value_node, (ast.Tuple, ast.List)) and len(value_node.elts) == len(elts) else None
+            for i, t in enumerate(elts):
+                if value_elts is not None:
+                    self._assign_target(t, stmt, self.eval(value_elts[i]), value_elts[i])
+                else:
+                    self._assign_target(t, stmt, value, None)
+        # Subscript stores and the rest: no binding (conservative).
+
+    def exec_block(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec(stmt)
+
+    def _merged(self, branches: list[list[ast.stmt]]) -> None:
+        base = dict(self.env)
+        merged: dict[str, Taints] = {}
+        for body in branches:
+            self.env = dict(base)
+            self.exec_block(body)
+            for name, taint in self.env.items():
+                merged[name] = merged.get(name, EMPTY) | taint
+        self.env = merged
+
+    def exec(self, stmt: ast.stmt) -> None:
+        self.stmt = stmt
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, stmt, value, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign_target(stmt.target, stmt, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, self.model.name_taint(stmt.target.id))
+                # An in-place op is a binop between the current binding and
+                # the operand — same mixing rules apply.
+                synthetic = ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value)
+                ast.copy_location(synthetic, stmt)
+                result = self.model.binop(synthetic, current, value)
+                self._bind(stmt.target.id, self.model.assign_name(stmt.target.id, stmt, result))
+            elif isinstance(stmt.target, ast.Attribute):
+                current = self.model.attr_taint(stmt.target, EMPTY)
+                synthetic = ast.BinOp(left=stmt.target, op=stmt.op, right=stmt.value)
+                ast.copy_location(synthetic, stmt)
+                self.model.assign_attr(stmt.target, stmt, self.model.binop(synthetic, current, value))
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self._merged([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter)
+            if isinstance(stmt.target, (ast.Name, ast.Tuple, ast.List)):
+                self._assign_target(stmt.target, stmt, EMPTY, None)
+            # Two passes: loop-carried taints reach their first use.
+            for _ in range(2):
+                self._merged([stmt.body, []])
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            for _ in range(2):
+                self._merged([stmt.body, []])
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, stmt, taint, None)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            branches = [stmt.body] + [h.body for h in stmt.handlers]
+            self._merged(branches)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            for name in stmt.names:
+                self.frozen.add(name)
+                self.env.pop(name, None)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            if isinstance(stmt, ast.Assert):
+                self.eval(stmt.test)
+            elif stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            pass  # nested definitions are not executed inline
+        # Pass/Break/Continue/Import...: nothing to do.
+
+
+def run_dataflow(func: ast.AST, model: TaintModel) -> None:
+    """Interpret one function body under ``model``.
+
+    Parameters are seeded through :meth:`TaintModel.name_taint` on first
+    read (no explicit entry binding needed).  ``func`` may be any node
+    with a ``body`` list of statements (FunctionDef, Module, ...).
+    """
+    interp = _Interp(model)
+    body = getattr(func, "body", None)
+    if isinstance(body, list):
+        interp.exec_block(body)

@@ -1,0 +1,122 @@
+"""S014 — entropy hidden behind wrappers reaching codec/stream code.
+
+S001/S010 flag the *literal site* of an unseeded RNG or a stdlib-random
+import; they cannot see a deterministic-looking helper that launders
+entropy::
+
+    def jitter(scale):                      # utils module, flagged by S001
+        return np.random.default_rng().standard_normal() * scale
+
+    def encode(frame):                      # codec module — S001-silent!
+        return quantize(frame + jitter(0.5))
+
+The golden e2e digest dies either way.  This analyzer walks the call
+graph from every function defined in ``codec/`` or ``stream/`` and flags
+the ones from which an entropy source is reachable through at least one
+wrapper call (direct literal sites stay the business of S001/S010/S002,
+so the two layers never double-report one line):
+
+- unseeded ``np.random.default_rng()`` / ``np.random.RandomState()`` and
+  every legacy global-state ``np.random.*`` draw;
+- the stdlib ``random`` module, ``os.urandom``, ``secrets.*``;
+- ``uuid.uuid1``/``uuid.uuid4`` and date-like entropy
+  (``datetime.now``/``utcnow``/``today``) — wall time is entropy as far
+  as reproducibility is concerned.
+
+Findings report at the boundary function (the deepest codec/stream
+caller whose direct callee is not itself flagged) and name the full
+chain, e.g. ``encode() -> jitter() -> numpy.random.default_rng()``.
+Suppress with ``# repro: noqa[S014]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.check.callgraph import CallGraph, CallSite, build_callgraph, describe_chain
+from repro.check.engine import ModuleContext, Rule, register
+from repro.check.rules import _LEGACY_NP_RANDOM
+from repro.check.symbols import ProjectModel
+
+__all__ = ["WrappedEntropyRule"]
+
+_ENTROPY_EXACT = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "numpy.random.RandomState",
+        "np.random.RandomState",
+    }
+)
+
+_ENTROPY_PREFIXES = ("random.", "secrets.")
+
+_DATE_TAILS = frozenset({"now", "utcnow", "today"})
+
+
+def _is_entropy_site(site: CallSite) -> bool:
+    if site.internal:
+        return False
+    callee = site.callee
+    if callee in _ENTROPY_EXACT or callee.startswith(_ENTROPY_PREFIXES):
+        return True
+    head, _, tail = callee.rpartition(".")
+    if callee.startswith(("numpy.random.", "np.random.")):
+        if tail == "default_rng":
+            node = site.node
+            return not node.args and not node.keywords  # seeded is fine
+        return tail in _LEGACY_NP_RANDOM
+    if tail in _DATE_TAILS and ("datetime" in head or head.endswith("date")):
+        return True
+    return False
+
+
+@register
+class WrappedEntropyRule(Rule):
+    id = "S014"
+    name = "wrapped-entropy"
+    severity = "error"
+    description = (
+        "an entropy source (unseeded RNG, stdlib random, uuid, datetime.now) "
+        "is reachable from codec/stream code through wrapper calls that the "
+        "literal-site rules S001/S010 cannot see; thread a seeded Generator "
+        "or simulated timestamp instead."
+    )
+    scope = ("codec", "stream")
+    requires_project = True
+
+    def _wrapped_chain(self, graph: CallGraph, qualname: str) -> list[CallSite] | None:
+        """The entropy chain for ``qualname`` if it runs through a wrapper."""
+        chain = graph.reach(qualname, _is_entropy_site)
+        if chain is None or len(chain) < 2:
+            return None  # direct sites belong to S001/S010
+        return chain
+
+    def module_check(self, tree: ast.Module, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        project = ctx.project
+        if not isinstance(project, ProjectModel):
+            return
+        module = project.module_for(ctx.path)
+        if module is None:
+            return
+        graph = build_callgraph(project)
+        targets = list(module.functions.values())
+        for cls in module.classes.values():
+            targets.extend(cls.methods.values())
+        for fn in targets:
+            chain = self._wrapped_chain(graph, fn.qualname)
+            if chain is None:
+                continue
+            # Report at the boundary: when the direct callee would itself be
+            # flagged (its own chain still runs through a wrapper), skip this
+            # caller so one laundering helper yields one finding.
+            first = chain[0]
+            if first.internal and self._wrapped_chain(graph, first.callee) is not None:
+                continue
+            yield first.node, (
+                f"{fn.name}() reaches entropy via {describe_chain(chain)}; "
+                "determinism requires a seeded Generator or simulated time "
+                "threaded through the wrapper"
+            )

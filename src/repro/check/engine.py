@@ -82,6 +82,9 @@ class ModuleContext:
 
     path: str
     lines: tuple[str, ...]
+    #: The :class:`repro.check.symbols.ProjectModel` covering the lint run,
+    #: present whenever an active rule sets ``requires_project``.
+    project: Any | None = None
 
     @property
     def parts(self) -> tuple[str, ...]:
@@ -116,6 +119,10 @@ class Rule:
         *allowed* to print).
     node_types:
         AST node classes dispatched to :meth:`check`.
+    requires_project:
+        True for semantic rules that need ``ctx.project`` (a
+        :class:`~repro.check.symbols.ProjectModel`); the engine then
+        builds one over the whole path set before dispatch.
     """
 
     id: str = ""
@@ -125,6 +132,7 @@ class Rule:
     scope: tuple[str, ...] = ()
     exclude_files: tuple[str, ...] = ()
     node_types: tuple[type, ...] = ()
+    requires_project: bool = False
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         if ctx.filename in self.exclude_files:
@@ -160,7 +168,10 @@ def register(cls: type[Rule]) -> type[Rule]:
 
 def all_rules() -> list[Rule]:
     """Fresh instances of every registered rule, ordered by id."""
+    import repro.check.concurrency  # noqa: F401  (registers S012)
+    import repro.check.determinism  # noqa: F401  (registers S014)
     import repro.check.rules  # noqa: F401  (registers the built-in rules)
+    import repro.check.units  # noqa: F401  (registers S013)
 
     return [cls() for _, cls in sorted(_REGISTRY.items())]
 
@@ -206,6 +217,7 @@ def check_source(
     *,
     path: str = "<string>",
     rules: Iterable[Rule] | None = None,
+    project: Any | None = None,
 ) -> list[Finding]:
     """Lint one module's source text.
 
@@ -213,6 +225,12 @@ def check_source(
     tests can exercise scoped rules by passing e.g.
     ``path="src/repro/codec/x.py"``.  A syntax error is itself reported as
     a finding (rule ``E999``) rather than raised.
+
+    ``project`` is the :class:`~repro.check.symbols.ProjectModel` for
+    multi-file runs; when omitted and a ``requires_project`` rule is
+    active, a single-module model is built from this source so the
+    semantic rules still work on isolated snippets (cross-module
+    resolution is simply absent).
     """
     ctx = ModuleContext(path=path, lines=tuple(source.splitlines()))
     try:
@@ -231,6 +249,13 @@ def check_source(
     active = [r for r in (all_rules() if rules is None else rules) if r.applies_to(ctx)]
     if not active:
         return []
+    if any(r.requires_project for r in active):
+        if project is None:
+            from repro.check.symbols import ProjectModel
+
+            project = ProjectModel()
+            project.add_module(path, tree)
+        ctx = ModuleContext(path=path, lines=ctx.lines, project=project)
 
     dispatch: dict[type, list[Rule]] = {}
     findings: list[Finding] = []
@@ -264,10 +289,15 @@ def check_source(
     return findings
 
 
-def check_file(path: str | Path, *, rules: Iterable[Rule] | None = None) -> list[Finding]:
+def check_file(
+    path: str | Path,
+    *,
+    rules: Iterable[Rule] | None = None,
+    project: Any | None = None,
+) -> list[Finding]:
     """Lint one file on disk."""
     p = Path(path)
-    return check_source(p.read_text(encoding="utf-8"), path=str(p), rules=rules)
+    return check_source(p.read_text(encoding="utf-8"), path=str(p), rules=rules, project=project)
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
@@ -300,12 +330,22 @@ class CheckResult:
 
 
 def check_paths(paths: Iterable[str | Path], *, rules: Iterable[Rule] | None = None) -> CheckResult:
-    """Lint every python file under ``paths`` (files and/or directories)."""
+    """Lint every python file under ``paths`` (files and/or directories).
+
+    When any rule sets ``requires_project``, one
+    :class:`~repro.check.symbols.ProjectModel` is built over the whole
+    path set first, so semantic rules resolve names across every file in
+    the run (aliased imports, cross-module factories, base classes).
+    """
     rule_list = list(all_rules() if rules is None else rules)
+    files = list(iter_python_files(paths))
+    project = None
+    if any(r.requires_project for r in rule_list):
+        from repro.check.symbols import ProjectModel
+
+        project = ProjectModel.from_paths(files)
     findings: list[Finding] = []
-    n_files = 0
-    for f in iter_python_files(paths):
-        n_files += 1
-        findings.extend(check_file(f, rules=rule_list))
+    for f in files:
+        findings.extend(check_file(f, rules=rule_list, project=project))
     findings.sort(key=lambda f: f.sort_key)
-    return CheckResult(findings=findings, files_checked=n_files)
+    return CheckResult(findings=findings, files_checked=len(files))

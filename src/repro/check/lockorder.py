@@ -1,0 +1,177 @@
+"""Runtime lock-order sanitizer — the TSan-lite analog of ArraySanitizer.
+
+The static S012 rule proves per-class discipline but cannot see a *global*
+acquisition order: thread A taking ``server._lock`` then ``clock._lock``
+while thread B takes them in the opposite order deadlocks only under the
+right interleaving, which a test suite may never hit.  This sanitizer
+makes the ordering violation deterministic:
+
+- :meth:`LockOrderSanitizer.wrap` returns a transparent proxy for any
+  ``threading`` lock (plain, reentrant, or the lock inside a Condition);
+- each proxy records, per thread, the stack of sanitized locks currently
+  held and maintains one global acquired-after graph (edge ``A -> B``
+  when some thread acquired B while holding A);
+- acquiring B while holding A when the graph already shows a path
+  ``B -> ... -> A`` is a lock-order inversion: :class:`LockOrderError`
+  is raised *before* the acquisition (naming both locks and the recorded
+  path), so nothing is left held and the test fails loudly instead of
+  hanging.
+
+Reentrant acquisition of the same lock is always allowed; waiting on a
+``Condition`` built over a wrapped lock works because the proxy exposes
+the plain acquire/release protocol the Condition's default hooks use.
+
+Opt in per run with ``ExperimentConfig(sanitize=True)`` — the same switch
+as the array sanitizer — or wrap locks directly.  The default
+:data:`NULL_LOCK_SANITIZER` returns locks unwrapped, so the sanitize-off
+path costs nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "LockOrderError",
+    "LockOrderSanitizer",
+    "NULL_LOCK_SANITIZER",
+    "NullLockSanitizer",
+]
+
+
+class LockOrderError(RuntimeError):
+    """Two locks were acquired in conflicting orders by different threads."""
+
+    def __init__(self, acquiring: str, held: str, path: list[str]):
+        self.acquiring = acquiring
+        self.held = held
+        self.path = list(path)
+        super().__init__(
+            f"lock-order inversion: acquiring '{acquiring}' while holding '{held}', "
+            f"but the recorded order is {' -> '.join(path)} — a concurrent thread "
+            "taking that path deadlocks against this one"
+        )
+
+
+class _GuardedLock:
+    """Order-checking proxy over one ``threading`` lock."""
+
+    def __init__(self, sanitizer: "LockOrderSanitizer", lock: object, name: str):
+        self._sanitizer = sanitizer
+        self._lock = lock
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._sanitizer._before_acquire(self.name)
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self._sanitizer._after_acquire(self.name)
+        return ok
+
+    def release(self) -> None:
+        self._lock.release()
+        self._sanitizer._after_release(self.name)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> "_GuardedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"_GuardedLock({self.name!r})"
+
+
+class LockOrderSanitizer:
+    """Wraps locks and raises :class:`LockOrderError` on order inversions.
+
+    Attributes
+    ----------
+    acquisitions:
+        Total sanitized acquisitions so far (tests use it to confirm the
+        sanitizer actually saw traffic, cf. ``ArraySanitizer.checks``).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.acquisitions = 0
+        self._mu = threading.Lock()  # guards _edges and the counter
+        self._edges: dict[str, set[str]] = {}  # A -> {B}: B acquired under A
+        self._held = threading.local()
+
+    # ------------------------------------------------------------- wrapping
+
+    def wrap(self, lock: object, name: str) -> object:
+        """An order-checking proxy for ``lock`` (idempotent)."""
+        if isinstance(lock, _GuardedLock):
+            return lock
+        return _GuardedLock(self, lock, name)
+
+    # ------------------------------------------------------------ recording
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = self._held.stack = []
+        return stack
+
+    def _path_to(self, start: str, goal: str) -> list[str] | None:
+        """A recorded acquired-after path ``start -> ... -> goal``."""
+        visited = {start}
+        frontier = [[start]]
+        while frontier:
+            path = frontier.pop()
+            for nxt in self._edges.get(path[-1], ()):
+                if nxt == goal:
+                    return path + [nxt]
+                if nxt not in visited:
+                    visited.add(nxt)
+                    frontier.append(path + [nxt])
+        return None
+
+    def _before_acquire(self, name: str) -> None:
+        stack = self._stack()
+        if name in stack:
+            return  # reentrant acquisition of the same lock
+        with self._mu:
+            for held in stack:
+                path = self._path_to(name, held)
+                if path is not None:
+                    raise LockOrderError(name, held, path)
+
+    def _after_acquire(self, name: str) -> None:
+        stack = self._stack()
+        with self._mu:
+            self.acquisitions += 1
+            for held in stack:
+                if held != name:
+                    self._edges.setdefault(held, set()).add(name)
+        stack.append(name)
+
+    def _after_release(self, name: str) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                return
+
+
+class NullLockSanitizer:
+    """No-op sanitizer: :meth:`wrap` returns the lock untouched."""
+
+    enabled = False
+    acquisitions = 0
+
+    __slots__ = ()
+
+    def wrap(self, lock: object, name: str) -> object:
+        return lock
+
+
+#: The shared no-op lock sanitizer — the default everywhere.
+NULL_LOCK_SANITIZER = NullLockSanitizer()

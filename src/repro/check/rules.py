@@ -33,6 +33,12 @@ S011 loop-constant-alloc    warning  ``np.zeros/np.empty`` with a constant
                                      shape allocated inside a loop body in
                                      ``codec/`` — hoist the buffer
 ==== ====================== ======== =======================================
+
+The semantic rules live in their own modules (they reason over the whole
+project, not single nodes): S012 lock-discipline
+(:mod:`repro.check.concurrency`), S013 unit-flow
+(:mod:`repro.check.units`), S014 wrapped-entropy
+(:mod:`repro.check.determinism`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,358 @@
+"""Project symbol table: the whole-tree model semantic rules reason over.
+
+The per-node rules in :mod:`repro.check.rules` see one AST node at a time;
+the semantic analyzers (:mod:`repro.check.concurrency`,
+:mod:`repro.check.units`, :mod:`repro.check.determinism`) need to answer
+questions that span modules — "which function does this aliased import
+call?", "what class is ``self._requests`` an instance of?".  This module
+builds that context once per lint invocation:
+
+- :class:`ModuleInfo` — one parsed module: its dotted name, import alias
+  map, top-level functions and classes;
+- :class:`ClassInfo` — methods, base-class names and the constructor types
+  of ``self.<attr>`` assignments (``self._requests = SimpleQueue()`` ⇒
+  ``_requests: queue.SimpleQueue``);
+- :class:`ProjectModel` — every module keyed by dotted name and by path,
+  plus :meth:`ProjectModel.resolve` which turns a dotted expression as
+  written in some module (``np.random.default_rng``, ``VirtualClock``,
+  ``_queuemod.SimpleQueue``) into a canonical project-internal qualname or
+  a canonical external name.
+
+:func:`build_project` accepts ``{path: source}`` so tests can assemble
+multi-module fixture projects without touching disk;
+:meth:`ProjectModel.from_paths` is what :func:`repro.check.engine.
+check_paths` uses on the real tree.  Everything is a plain AST pass — no
+imports are executed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+__all__ = [
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_project",
+    "module_name_for_path",
+]
+
+#: Directory roots a dotted module name may start from.  ``repro`` makes
+#: ``src/repro/stream/runner.py`` → ``repro.stream.runner``; the others let
+#: tests/benchmarks/examples participate in one project model.
+_PACKAGE_ROOTS = ("repro", "tests", "benchmarks", "examples")
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path (best effort, never fails).
+
+    Anchored at the last occurrence of a known package root; files outside
+    any root fall back to their stem, so single-file fixture projects get a
+    usable name too.
+    """
+    parts = list(Path(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    anchor = 0
+    for i, part in enumerate(parts):
+        if part in _PACKAGE_ROOTS:
+            anchor = i
+    dotted = [p for p in parts[anchor:] if p not in ("", ".")]
+    if dotted and dotted[-1] == "__init__":
+        dotted = dotted[:-1]
+    if not dotted:
+        return Path(path).stem or "<module>"
+    if anchor == 0 and dotted[0] not in _PACKAGE_ROOTS:
+        # No known root: just the stem (fixtures like ``a.py``).
+        return dotted[-1]
+    return ".".join(dotted)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str  #: ``repro.stream.runner.StreamRunner.run``
+    module: str  #: defining module's dotted name
+    cls: str | None  #: bare class name for methods, ``None`` for functions
+    name: str  #: bare function name
+    node: ast.AST  #: the ``FunctionDef`` / ``AsyncFunctionDef``
+    #: Bare/dotted class names this function directly constructs and
+    #: returns (``return Worker(...)``) — the factory-indirection seam.
+    returns: tuple[str, ...] = ()
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus what its ``self`` looks like."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...]  #: base-class names as written (dotted)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.<attr> = Ctor(...)`` assignments anywhere in the class body,
+    #: attr → constructor name as written (resolved lazily via the module).
+    attr_ctors: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    tree: ast.Module
+    #: local alias → dotted target (``np`` → ``numpy``,
+    #: ``VirtualClock`` → ``repro.stream.clock.VirtualClock``).
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def _collect_imports(module_name: str, tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                imports[local] = alias.name if alias.asname else alias.name.split(".", 1)[0]
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: climb from the containing package.
+                parts = module_name.split(".")
+                parts = parts[: max(len(parts) - node.level, 0)]
+                base = ".".join(parts + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def _returned_constructors(func: ast.AST) -> tuple[str, ...]:
+    """Names of classes directly constructed in ``return Ctor(...)``."""
+    names: list[str] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+            name = _dotted(node.value.func)
+            if name and name[:1].isalpha() and name.split(".")[-1][:1].isupper():
+                names.append(name)
+    return tuple(dict.fromkeys(names))
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _collect_class(module: str, node: ast.ClassDef) -> ClassInfo:
+    info = ClassInfo(
+        qualname=f"{module}.{node.name}",
+        module=module,
+        name=node.name,
+        node=node,
+        bases=tuple(b for b in (_dotted(base) for base in node.bases) if b),
+    )
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.methods[stmt.name] = FunctionInfo(
+                qualname=f"{info.qualname}.{stmt.name}",
+                module=module,
+                cls=node.name,
+                name=stmt.name,
+                node=stmt,
+                returns=_returned_constructors(stmt),
+            )
+            for sub in ast.walk(stmt):
+                target = None
+                if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                    target, value = sub.targets[0], sub.value
+                elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                    target, value = sub.target, sub.value
+                else:
+                    continue
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and isinstance(value, ast.Call)
+                ):
+                    ctor = _dotted(value.func)
+                    if ctor:
+                        info.attr_ctors.setdefault(target.attr, ctor)
+    return info
+
+
+def _collect_module(name: str, path: str, tree: ast.Module) -> ModuleInfo:
+    info = ModuleInfo(name=name, path=path, tree=tree, imports=_collect_imports(name, tree))
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = FunctionInfo(
+                qualname=f"{name}.{stmt.name}",
+                module=name,
+                cls=None,
+                name=stmt.name,
+                node=stmt,
+                returns=_returned_constructors(stmt),
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = _collect_class(name, stmt)
+    return info
+
+
+class ProjectModel:
+    """Symbol tables for a set of modules plus name resolution across them.
+
+    Attributes
+    ----------
+    modules:
+        Dotted module name → :class:`ModuleInfo`.
+    by_path:
+        Source path (as given) → :class:`ModuleInfo`.
+    functions, classes:
+        Project-wide qualname indexes (methods included in ``functions``).
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_path: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Scratch space for analyzers that cache per-project results
+        #: (e.g. the call graph); keyed by analyzer-chosen strings.
+        self.cache: dict[str, object] = {}
+
+    # ------------------------------------------------------------ building
+
+    def add_module(self, path: str, tree: ast.Module) -> ModuleInfo:
+        name = module_name_for_path(path)
+        info = _collect_module(name, path, tree)
+        self.modules[name] = info
+        self.by_path[path] = info
+        for fn in info.functions.values():
+            self.functions[fn.qualname] = fn
+        for cls in info.classes.values():
+            self.classes[cls.qualname] = cls
+            for m in cls.methods.values():
+                self.functions[m.qualname] = m
+        return info
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "ProjectModel":
+        project = cls()
+        for path, source in sources.items():
+            try:
+                tree = ast.parse(source, filename=path)
+            except SyntaxError:
+                continue  # the engine reports E999 separately
+            project.add_module(path, tree)
+        return project
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[str | Path]) -> "ProjectModel":
+        sources: dict[str, str] = {}
+        for p in paths:
+            try:
+                sources[str(p)] = Path(p).read_text(encoding="utf-8")
+            except OSError:
+                continue
+        return cls.from_sources(sources)
+
+    # ---------------------------------------------------------- resolution
+
+    def module_for(self, path: str) -> ModuleInfo | None:
+        return self.by_path.get(path)
+
+    def resolve(self, module: ModuleInfo, dotted: str) -> tuple[str, str] | None:
+        """Resolve a dotted name as written in ``module``.
+
+        Returns ``(kind, name)`` with ``kind`` one of ``"function"``,
+        ``"class"`` or ``"external"``; external names have their import
+        aliases expanded (``np.random.rand`` → ``numpy.random.rand``).
+        ``None`` means the name is a plain local/builtin we know nothing
+        about.
+        """
+        head, _, rest = dotted.partition(".")
+        target = None
+        if head in module.imports:
+            target = module.imports[head] + (("." + rest) if rest else "")
+        elif head in module.functions and not rest:
+            return ("function", module.functions[head].qualname)
+        elif head in module.classes:
+            qual = f"{module.name}.{dotted}"
+            if not rest:
+                return ("class", qual)
+            cls = module.classes[head]
+            if rest in cls.methods:
+                return ("function", cls.methods[rest].qualname)
+            return ("external", qual)
+        elif dotted in self.functions:
+            return ("function", dotted)
+        elif dotted in self.classes:
+            return ("class", dotted)
+        else:
+            return None
+        # Import-mediated: the target may itself be project-internal.
+        if target in self.functions:
+            return ("function", target)
+        if target in self.classes:
+            return ("class", target)
+        if target in self.modules:
+            return ("external", target)  # a module object, not callable
+        # ``from repro.x import helper`` where repro.x is in the project but
+        # helper resolution failed above means external; but also handle
+        # ``import repro.x as m; m.helper()``.
+        mod, _, attr = target.rpartition(".")
+        if attr and mod in self.modules:
+            owner = self.modules[mod]
+            if attr in owner.functions:
+                return ("function", owner.functions[attr].qualname)
+            if attr in owner.classes:
+                return ("class", owner.classes[attr].qualname)
+        return ("external", target)
+
+    def resolve_class(self, module: ModuleInfo, name: str) -> ClassInfo | None:
+        """The :class:`ClassInfo` a (possibly dotted/aliased) name denotes."""
+        resolved = self.resolve(module, name)
+        if resolved and resolved[0] == "class":
+            return self.classes.get(resolved[1])
+        return None
+
+    def method_on(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """Look up a method on a class, walking resolvable project bases."""
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop()
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            if name in current.methods:
+                return current.methods[name]
+            module = self.modules.get(current.module)
+            if module is None:
+                continue
+            for base in current.bases:
+                base_cls = self.resolve_class(module, base)
+                if base_cls is not None:
+                    stack.append(base_cls)
+        return None
+
+
+def build_project(sources: dict[str, str]) -> ProjectModel:
+    """Build a :class:`ProjectModel` from ``{path: source}`` (test-friendly)."""
+    return ProjectModel.from_sources(sources)

@@ -48,7 +48,7 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _cmd_demo(args: argparse.Namespace) -> str:
-    from repro.check import ArraySanitizer
+    from repro.check import ArraySanitizer, LockOrderSanitizer
     from repro.core import DiVEScheme
     from repro.network import constant_trace
     from repro.world import nuscenes_like, robotcar_like
@@ -57,6 +57,7 @@ def _cmd_demo(args: argparse.Namespace) -> str:
     clip = maker(args.seed, n_frames=args.frames)
     trace = constant_trace(scaled_bandwidth(args.bandwidth, clip))
     sanitizer = ArraySanitizer() if args.sanitize else None
+    lock_sanitizer = LockOrderSanitizer() if args.sanitize else None
     stream = None
     if args.streaming:
         from repro.stream import StreamConfig
@@ -69,7 +70,7 @@ def _cmd_demo(args: argparse.Namespace) -> str:
         )
     result = run_scheme(
         DiVEScheme(), clip, trace, ground_truth=ground_truth_for(clip),
-        sanitizer=sanitizer, stream=stream,
+        sanitizer=sanitizer, lock_sanitizer=lock_sanitizer, stream=stream,
     )
     rows = [
         ["mAP", result.map],
@@ -373,12 +374,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Run the project-specific static analyser (see :mod:`repro.check`)."""
     from repro.check import check_paths, render_json, render_text, rule_table
+    from repro.check.baseline import BaselineError, compare_baseline, write_baseline
 
     if args.list_rules:
         print(rule_table())
         return 0
     result = check_paths(args.paths)
     print(render_json(result) if args.format == "json" else render_text(result))
+    if args.write_baseline:
+        n = write_baseline(result, args.write_baseline)
+        print(f"wrote baseline {args.write_baseline} ({n} findings)")
+        return 0
+    if args.baseline:
+        # Exit-code contract matches `repro bench --compare`: 2 on new
+        # findings or an unusable baseline, 0 when the line holds.
+        try:
+            cmp = compare_baseline(result, args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(cmp.summary())
+        for f in cmp.new:
+            print(f"NEW {f.path}:{f.line}:{f.col}: {f.rule} {f.message}")
+        return 0 if cmp.ok else 2
     return 0 if result.ok else 1
 
 
@@ -465,6 +483,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", default=["src"], help="files/directories to lint")
     lint.add_argument("--format", choices=("text", "json"), default="text")
     lint.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="compare findings against a recorded baseline: new findings exit 2, grandfathered ones pass",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the baseline FILE and exit 0",
+    )
     bench = sub.add_parser(
         "bench",
         help="Perf/memory benchmark suite: run, save BENCH_*.json, compare runs",

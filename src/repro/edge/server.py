@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.check.lockorder import NULL_LOCK_SANITIZER, LockOrderSanitizer, NullLockSanitizer
 from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.codec.decoder import VideoDecoder
 from repro.codec.encoder import EncodedFrame
@@ -63,6 +64,11 @@ class EdgeServer:
         Runtime array validation (see :mod:`repro.check.sanitize`);
         shared with the internal decoder, so a corrupt upload fails at
         ``decoder/bitstream`` / ``server/decoded`` with the stage named.
+    lock_sanitizer:
+        Lock-order validation (see :mod:`repro.check.lockorder`); when
+        live, the server's decoder lock is wrapped so acquisition-order
+        inversions against other sanitized locks raise instead of
+        deadlocking.
     """
 
     def __init__(
@@ -73,6 +79,7 @@ class EdgeServer:
         downlink_latency: float = 0.010,
         tracer: Tracer | NullTracer = NULL_TRACER,
         sanitizer: ArraySanitizer | NullSanitizer = NULL_SANITIZER,
+        lock_sanitizer: LockOrderSanitizer | NullLockSanitizer = NULL_LOCK_SANITIZER,
     ):
         self.detector = detector or QualityAwareDetector()
         self.inference_latency = float(inference_latency)
@@ -84,7 +91,7 @@ class EdgeServer:
         # the streaming inference stage runs on its own thread — must not
         # interleave decode/reset.  Uncontended acquisition keeps the
         # synchronous path essentially free.
-        self._lock = threading.Lock()
+        self._lock = lock_sanitizer.wrap(threading.Lock(), "edge.server")
 
     def reset(self) -> None:
         """Drop decoder state (new stream / after an intra refresh request)."""

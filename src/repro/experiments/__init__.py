@@ -42,6 +42,7 @@ from repro.experiments.runner import (
     EvaluationResult,
     evaluate_run,
     ground_truth_for,
+    lock_sanitizer_for,
     run_scheme,
     sanitizer_for,
     tracer_for,
@@ -84,6 +85,7 @@ __all__ = [
     "ScalabilityResult",
     "run_scheme",
     "run_table1",
+    "lock_sanitizer_for",
     "sanitizer_for",
     "tracer_for",
     "scaled_bandwidth",

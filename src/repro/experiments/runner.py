@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baselines.base import AnalyticsScheme, SchemeRun
+from repro.check.lockorder import NULL_LOCK_SANITIZER, LockOrderSanitizer, NullLockSanitizer
 from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.edge.detector import Detection, QualityAwareDetector
 from repro.edge.evaluation import evaluate_detections
@@ -21,6 +22,7 @@ __all__ = [
     "aggregate",
     "evaluate_run",
     "ground_truth_for",
+    "lock_sanitizer_for",
     "run_scheme",
     "sanitizer_for",
     "tracer_for",
@@ -92,6 +94,17 @@ def sanitizer_for(config: ExperimentConfig) -> ArraySanitizer | NullSanitizer:
     return ArraySanitizer() if config.sanitize else NULL_SANITIZER
 
 
+def lock_sanitizer_for(config: ExperimentConfig) -> LockOrderSanitizer | NullLockSanitizer:
+    """The lock-order sanitizer dictated by a config's ``sanitize`` switch.
+
+    Rides the same opt-in as the array sanitizer: a fresh live
+    :class:`~repro.check.LockOrderSanitizer` when ``config.sanitize`` is
+    set, the shared no-op otherwise — pass the result to
+    :func:`run_scheme`.
+    """
+    return LockOrderSanitizer() if config.sanitize else NULL_LOCK_SANITIZER
+
+
 def run_scheme(
     scheme: AnalyticsScheme,
     clip: Clip,
@@ -101,6 +114,7 @@ def run_scheme(
     ground_truth: list[list[Detection]] | None = None,
     tracer: Tracer | NullTracer | None = None,
     sanitizer: ArraySanitizer | NullSanitizer | None = None,
+    lock_sanitizer: LockOrderSanitizer | NullLockSanitizer | None = None,
     stream=None,
 ) -> EvaluationResult:
     """Run one scheme on one clip and evaluate it.
@@ -111,9 +125,11 @@ def run_scheme(
     (see :mod:`repro.obs` and :func:`tracer_for`) is threaded through the
     scheme and the server so the run emits a per-frame trace; a
     ``sanitizer`` (see :mod:`repro.check` and :func:`sanitizer_for`) is
-    threaded the same way so stage boundaries validate their arrays.  When
-    omitted the scheme keeps whatever tracer/sanitizer it already has (the
-    no-ops by default).
+    threaded the same way so stage boundaries validate their arrays, and a
+    ``lock_sanitizer`` (see :func:`lock_sanitizer_for`) wraps the server's
+    and streaming runtime's locks so acquisition-order inversions raise
+    instead of deadlocking.  When omitted the scheme keeps whatever
+    tracer/sanitizers it already has (the no-ops by default).
 
     ``stream`` — a :class:`repro.stream.StreamConfig` (or ``True`` for the
     defaults) — routes the run through the pipelined streaming runtime
@@ -128,10 +144,13 @@ def run_scheme(
             )
     if sanitizer is not None:
         scheme.use_sanitizer(sanitizer)
+    if lock_sanitizer is not None:
+        scheme.use_lock_sanitizer(lock_sanitizer)
     server = EdgeServer(
         QualityAwareDetector(seed=detector_seed),
         tracer=scheme.tracer,
         sanitizer=scheme.sanitizer,
+        lock_sanitizer=scheme.lock_sanitizer,
     )
     stats = None
     if stream is not None and stream is not False:

@@ -27,10 +27,17 @@ class VirtualClock:
     ``stamp(stage, t)`` additionally records the stage's own high-water
     mark, so a finished run can report how far capture, uplink and edge
     each progressed in simulated seconds.
+
+    ``lock_sanitizer`` (see :mod:`repro.check.lockorder`) wraps the
+    internal lock when live, so the clock participates in global
+    lock-order checking.
     """
 
-    def __init__(self, start: float = 0.0):
-        self._lock = threading.Lock()
+    def __init__(self, start: float = 0.0, *, lock_sanitizer=None):
+        lock = threading.Lock()
+        if lock_sanitizer is not None and lock_sanitizer.enabled:
+            lock = lock_sanitizer.wrap(lock, "stream.clock")
+        self._lock = lock
         self._now = float(start)
         self._marks: dict[str, float] = {}
 

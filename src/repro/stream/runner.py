@@ -129,14 +129,18 @@ class _CaptureStage:
     """Render workers filling a bounded, in-order prefetch window."""
 
     def __init__(self, clip: Clip, *, workers: int, prefetch: int,
-                 clock: VirtualClock, abort: threading.Event, watchdog: float | None):
+                 clock: VirtualClock, abort: threading.Event, watchdog: float | None,
+                 lock_sanitizer=None):
         self._clip = clip
         self._workers = workers
         self._prefetch = max(prefetch, workers)
         self._clock = clock
         self._abort = abort
         self._watchdog = watchdog
-        self._cond = threading.Condition()
+        cond_lock = threading.Lock()
+        if lock_sanitizer is not None and lock_sanitizer.enabled:
+            cond_lock = lock_sanitizer.wrap(cond_lock, "stream.capture")
+        self._cond = threading.Condition(cond_lock)
         self._buffer: dict[int, object] = {}
         self._recent: dict[int, object] = {}
         self._next_claim = 0
@@ -428,7 +432,8 @@ class StreamRunner:
     def run(self, clip: Clip, trace: BandwidthTrace, server: EdgeServer) -> StreamResult:
         cfg = self.config
         cfg.validate()
-        clock = VirtualClock()
+        lock_sanitizer = getattr(self.scheme, "lock_sanitizer", None)
+        clock = VirtualClock(lock_sanitizer=lock_sanitizer)
         abort = threading.Event()
         ctx = _RunContext()
         accounting = _Accounting(clock, abort)
@@ -451,6 +456,7 @@ class StreamRunner:
         capture = _CaptureStage(
             clip, workers=cfg.workers, prefetch=cfg.prefetch,
             clock=clock, abort=abort, watchdog=cfg.watchdog,
+            lock_sanitizer=lock_sanitizer,
         )
         stream_clip = _StreamClip(clip, capture)
         inference = _InferenceStage(server, abort, cfg.watchdog)

@@ -96,6 +96,64 @@ FIXTURES = {
             "        buf[:] = fr\n"
         ),
     ),
+    "S012": (
+        "src/repro/stream/x.py",
+        (
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def peek(self):\n"
+            "        return self._n\n"
+        ),
+        (
+            "import threading\n"
+            "class Box:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._n = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._n += 1\n"
+            "    def peek(self):\n"
+            "        with self._lock:\n"
+            "            return self._n\n"
+        ),
+    ),
+    "S013": (
+        "src/repro/network/x.py",
+        (
+            "def frame_budget(header_bits, size_bytes):\n"
+            "    payload = size_bytes\n"
+            "    return header_bits + payload\n"
+        ),
+        (
+            "def frame_budget(header_bits, size_bytes):\n"
+            "    payload = size_bytes * 8\n"
+            "    return header_bits + payload\n"
+        ),
+    ),
+    "S014": (
+        "src/repro/codec/x.py",
+        (
+            "import numpy as np\n"
+            "def jitter(scale):\n"
+            "    return np.random.default_rng().standard_normal() * scale\n"
+            "def encode(frame):\n"
+            "    return frame + jitter(0.5)\n"
+        ),
+        (
+            "import numpy as np\n"
+            "def jitter(rng, scale):\n"
+            "    return rng.standard_normal() * scale\n"
+            "def encode(frame, rng):\n"
+            "    return frame + jitter(rng, 0.5)\n"
+        ),
+    ),
 }
 
 
@@ -256,6 +314,14 @@ class TestShippedTree:
 
     def test_tests_lint_clean(self):
         result = check_paths([REPO_ROOT / "tests"])
+        assert result.findings == [], render_text(result)
+
+    def test_benchmarks_lint_clean(self):
+        result = check_paths([REPO_ROOT / "benchmarks"])
+        assert result.findings == [], render_text(result)
+
+    def test_examples_lint_clean(self):
+        result = check_paths([REPO_ROOT / "examples"])
         assert result.findings == [], render_text(result)
 
 
