@@ -15,6 +15,8 @@ The package is organised as:
 - :mod:`repro.baselines` — O3, EAAR and DDS comparison schemes.
 - :mod:`repro.experiments` — one entry point per paper table/figure.
 - :mod:`repro.obs` — frame-level tracing/metrics, JSONL export, aggregation.
+- :mod:`repro.metrics` — live windowed telemetry keyed to simulated time,
+  flight-recorder post-mortems, ``repro top`` dashboard.
 - :mod:`repro.check` — project-specific static analysis (``repro lint``)
   and the opt-in runtime numpy-array sanitizer.
 """

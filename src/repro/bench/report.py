@@ -3,7 +3,9 @@
 The run report is the artefact a perf PR quotes as its before/after story:
 one markdown (or plain-text) document joining a ``BENCH_*.json`` with a
 ``repro trace`` JSONL — benchmark timings and throughput, per-stage span
-latency, per-frame counters and peak memory, all in one place.
+latency, per-frame counters and peak memory, all in one place.  A metrics
+JSONL (``repro.metrics``) adds the virtual-time telemetry view: pooled
+histogram quantiles, counter totals and gauge envelopes per series.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping, Sequence
 
-from repro.obs.aggregate import counter_rows, span_rows, summarize
+from repro.obs.aggregate import StageStats, counter_rows, span_rows, summarize
 from repro.obs.tracer import FrameTrace
 
 __all__ = ["render_bench_json", "render_bench_text", "run_report"]
@@ -72,18 +74,71 @@ def _md_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     return "\n".join(lines)
 
 
+def _metrics_sections(metrics: Any, table) -> list[str]:
+    """Render a parsed metrics JSONL (:class:`repro.metrics.MetricsDoc`)
+    as histogram-quantile / counter / gauge tables."""
+    groups: dict[tuple[str, str], list[Mapping[str, Any]]] = {}
+    for row in metrics.rows:
+        key = (row["name"], json.dumps(row["labels"], sort_keys=True))
+        groups.setdefault(key, []).append(row)
+    lines = [
+        f"metrics: {len(metrics.instruments)} instruments, {len(groups)} series, "
+        f"window {metrics.window:g} s (virtual time)",
+        "",
+    ]
+    hist_rows: list[list[object]] = []
+    count_rows: list[list[object]] = []
+    gauge_rows: list[list[object]] = []
+    for (name, _), rows in sorted(groups.items()):
+        kind, labels = rows[0]["kind"], rows[0]["labels"]
+        disp = name + ("{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}" if labels else "")
+        if kind == "histogram":
+            pooled = metrics.pooled_histogram(name, labels=labels)
+            stats = StageStats.from_histogram(pooled)
+            hist_rows.append(
+                [disp, stats.count, stats.mean, stats.p50, stats.p95,
+                 pooled.quantile(0.99)]
+            )
+        elif kind == "counter":
+            count_rows.append([disp, len(rows), sum(r["sum"] for r in rows)])
+        else:
+            gauge_rows.append(
+                [disp, len(rows), rows[-1]["last"],
+                 min(r["min"] for r in rows), max(r["max"] for r in rows)]
+            )
+    if hist_rows:
+        lines.extend(
+            table(
+                ["series", "count", "mean", "p50", "p95", "p99"],
+                hist_rows,
+                "Metric quantiles (pooled fixed-bucket histograms)",
+            )
+        )
+    if count_rows:
+        lines.extend(table(["series", "windows", "total"], count_rows, "Metric counters"))
+    if gauge_rows:
+        lines.extend(
+            table(["series", "windows", "last", "min", "max"], gauge_rows, "Metric gauges")
+        )
+    return lines
+
+
 def run_report(
     doc: Mapping[str, Any] | None,
     trace_meta: Mapping[str, Any] | None = None,
     trace_frames: Sequence[FrameTrace] | None = None,
     *,
+    metrics: Any | None = None,
     fmt: str = "markdown",
 ) -> str:
-    """Join a bench document and a frame trace into one run report.
+    """Join a bench document, a frame trace and a metrics JSONL into one
+    run report.
 
-    Either input may be omitted (``None`` / empty): the report renders the
-    sections it has data for.  ``fmt`` is ``"markdown"`` (pipe tables) or
-    ``"text"`` (the aligned tables every CLI command prints).
+    Any input may be omitted (``None`` / empty): the report renders the
+    sections it has data for.  ``metrics`` is a parsed
+    :class:`repro.metrics.MetricsDoc` (``repro report --metrics``);
+    ``fmt`` is ``"markdown"`` (pipe tables) or ``"text"`` (the aligned
+    tables every CLI command prints).
     """
     if fmt not in ("markdown", "text"):
         raise ValueError(f"fmt must be 'markdown' or 'text', got {fmt!r}")
@@ -138,6 +193,8 @@ def run_report(
                 "Traced counters",
             )
         )
-    if not doc and not trace_frames:
-        lines.append("(nothing to report: no bench document and no trace frames)")
+    if metrics is not None and metrics.rows:
+        lines.extend(_metrics_sections(metrics, table))
+    if not doc and not trace_frames and (metrics is None or not metrics.rows):
+        lines.append("(nothing to report: no bench document, trace frames or metrics)")
     return "\n".join(lines).rstrip() + "\n"

@@ -19,11 +19,17 @@ mAP"):
   rasterisation on a synthetic translational field with planted objects.
 - ``core/ransac_rotation`` — R-sampling + RANSAC rotation fit on a
   synthetic rotational+translational field.
+- ``obs/metrics_overhead`` — recording cost of the virtual-time metrics
+  registry (counter + gauge + histogram per sample, one digest).
+- ``stream/flight_recorder`` — flight-recorder ring throughput with
+  periodic trigger dumps.
 
 Macro benchmarks run a whole per-frame pipeline (DiVE and each baseline)
 on a small seeded ``repro.world`` scene with a live tracer attached, so
 each result embeds the per-stage span breakdown the ``repro report``
-command renders.
+command renders.  ``pipeline/stream_metrics`` repeats the streaming
+macro with full telemetry live, so the stream/stream_metrics pair is the
+measured observability overhead.
 
 Every input is derived from :class:`BenchScale.seed` — the *work* two runs
 perform at the same scale is bit-identical; only wall-clock differs.
@@ -257,7 +263,7 @@ for _scheme in ("dive", "dds", "eaar", "o3"):
     benchmark(f"pipeline/{_scheme}", suite="macro", group="pipeline")(partial(_build_pipeline, _scheme))
 
 
-def _build_stream(scale: BenchScale) -> BenchCase:
+def _build_stream(scale: BenchScale, *, telemetry: bool = False) -> BenchCase:
     """DiVE through the pipelined streaming runtime under backpressure.
 
     Unlike the batch pipeline benchmarks the clip is *not* preloaded:
@@ -266,11 +272,18 @@ def _build_stream(scale: BenchScale) -> BenchCase:
     and a per-frame deadline exercise the backpressure path; the sealed
     outcome counts are deterministic (virtual-time decisions), so they are
     regression-gated as throughput work alongside frames/macroblocks.
+
+    With ``telemetry`` (the ``pipeline/stream_metrics`` variant) the same
+    run carries a live :class:`~repro.metrics.MetricsRegistry` and
+    :class:`~repro.metrics.FlightRecorder`, so the pair of benchmarks is
+    the measured cost of full streaming telemetry; the flight-recorder
+    dump count is pinned into the gated work dict.
     """
     from repro.core import DiVEScheme
     from repro.edge.detector import QualityAwareDetector
     from repro.edge.server import EdgeServer
     from repro.experiments.config import ExperimentConfig as _EC
+    from repro.metrics import NULL_FLIGHT_RECORDER, NULL_REGISTRY, FlightRecorder, MetricsRegistry
     from repro.network import constant_trace, with_outages
     from repro.stream import StreamConfig, StreamRunner
     from repro.world import nuscenes_like
@@ -298,9 +311,15 @@ def _build_stream(scale: BenchScale) -> BenchCase:
 
     def fn() -> object:
         tracer = Tracer(meta={"scheme": "dive", "clip": clip.name, "mode": "stream"})
+        registry = MetricsRegistry() if telemetry else NULL_REGISTRY
+        recorder = FlightRecorder() if telemetry else NULL_FLIGHT_RECORDER
         scheme = DiVEScheme().use_tracer(tracer)
-        server = EdgeServer(QualityAwareDetector(seed=config.detector_seed), tracer=tracer)
-        result = StreamRunner(scheme, stream_config).run(clip, trace, server)
+        server = EdgeServer(
+            QualityAwareDetector(seed=config.detector_seed), tracer=tracer, metrics=registry,
+        )
+        result = StreamRunner(
+            scheme, stream_config, metrics=registry, flight_recorder=recorder,
+        ).run(clip, trace, server)
         tracer.meta["stream"] = result.stats.summary()
         case.tracers.append(tracer)
         return result
@@ -312,10 +331,65 @@ def _build_stream(scale: BenchScale) -> BenchCase:
     case.tracers.clear()
     case.work["delivered"] = float(reference.stats.delivered)
     case.work["shed"] = float(reference.stats.dropped + reference.stats.degraded + reference.stats.late)
+    if telemetry:
+        case.work["dumps"] = float(len(reference.flight.dumps))
     return case
 
 
 benchmark("pipeline/stream", suite="macro", group="pipeline")(_build_stream)
+benchmark("pipeline/stream_metrics", suite="macro", group="pipeline")(
+    partial(_build_stream, telemetry=True)
+)
+
+
+# -- telemetry --------------------------------------------------------------
+
+
+@benchmark("obs/metrics_overhead", suite="micro", group="obs")
+def _build_metrics_overhead(scale: BenchScale) -> BenchCase:
+    """Raw recording cost of the virtual-time metrics registry.
+
+    One labelled counter increment, one gauge set and one histogram
+    observation per sample — the per-frame instrument mix the streaming
+    runtime records — over a deterministic seeded sample stream, closed
+    out by one snapshot digest (the export cost a run pays once).
+    """
+    from repro.metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
+    n = 2000
+    rng = np.random.default_rng(scale.seed)
+    values = rng.uniform(1e-3, 1.0, size=n).tolist()
+    times = np.cumsum(rng.uniform(0.0, 0.02, size=n)).tolist()
+
+    def fn() -> object:
+        registry = MetricsRegistry()
+        counter = registry.counter("bench_frames").labels(status="ok")
+        gauge = registry.gauge("bench_depth")
+        hist = registry.histogram("bench_latency", buckets=DEFAULT_LATENCY_BUCKETS)
+        for t, v in zip(times, values):
+            counter.inc(1.0, at=t)
+            gauge.set(v, at=t)
+            hist.observe(v, at=t)
+        return registry.digest()
+
+    return BenchCase(fn=fn, work={"samples": float(3 * n)})
+
+
+@benchmark("stream/flight_recorder", suite="micro", group="stream")
+def _build_flight_recorder(scale: BenchScale) -> BenchCase:
+    """Flight-recorder ring throughput plus periodic trigger dumps."""
+    from repro.metrics import FlightRecorder
+
+    n = 5000
+    def fn() -> object:
+        recorder = FlightRecorder(capacity=512)
+        for i in range(n):
+            recorder.record("submit", i * 0.01, seq=i, frame=i % 64, bytes=1200)
+            if i % 1000 == 999:
+                recorder.trigger("bench-mark", i * 0.01, mark=i)
+        return recorder.digest()
+
+    return BenchCase(fn=fn, work={"events": float(n)})
 
 
 # -- static analysis --------------------------------------------------------

@@ -32,6 +32,11 @@ S010 stdlib-random          error    importing the stdlib ``random`` module
 S011 loop-constant-alloc    warning  ``np.zeros/np.empty`` with a constant
                                      shape allocated inside a loop body in
                                      ``codec/`` — hoist the buffer
+S015 metric-in-loop         warning  metric-instrument creation / registry
+                                     lookup-by-name (``registry.counter(
+                                     "...")`` et al.) inside a loop body in
+                                     ``codec/`` or ``stream/`` — hoist the
+                                     instrument
 ==== ====================== ======== =======================================
 
 The semantic rules live in their own modules (they reason over the whole
@@ -53,6 +58,7 @@ __all__ = [
     "BitsBytesMixRule",
     "DtypeLessAllocRule",
     "LoopConstantAllocRule",
+    "MetricInLoopRule",
     "MutableDefaultRule",
     "PrintInLibraryRule",
     "QPLiteralBoundsRule",
@@ -425,6 +431,58 @@ class LoopConstantAllocRule(Rule):
                             f"{name}(...) with a constant shape is allocated every "
                             "loop iteration; hoist the buffer out of the loop and fill in place"
                         )
+
+
+@register
+class MetricInLoopRule(Rule):
+    id = "S015"
+    name = "metric-in-loop"
+    severity = "warning"
+    description = (
+        "registry.counter/gauge/histogram('name') inside a loop body in "
+        "codec/ or stream/ re-runs the name lookup (and lock) every "
+        "iteration; hoist the instrument out of the per-frame path."
+    )
+    scope = ("codec", "stream")
+
+    _FACTORIES = frozenset({"counter", "gauge", "histogram"})
+
+    def module_check(self, tree: ast.Module, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        reported: set[int] = set()  # call node ids, so nested loops report once
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for stmt in [*loop.body, *loop.orelse]:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call) or id(sub) in reported:
+                        continue
+                    name = dotted_name(sub.func)
+                    if name is None:
+                        continue
+                    if name.split(".")[-1] in ("MetricsRegistry", "FlightRecorder"):
+                        reported.add(id(sub))
+                        yield sub, (
+                            f"{name}() constructed inside a loop; build one registry/"
+                            "recorder per run and thread it through"
+                        )
+                        continue
+                    receiver, sep, method = name.rpartition(".")
+                    if not sep or method not in self._FACTORIES:
+                        continue
+                    # Receivers that are plausibly a metrics registry only —
+                    # Tracer.gauge(...) on a `tracer`/`tr` receiver is a
+                    # per-frame *sample*, not an instrument lookup.
+                    low = receiver.lower()
+                    if "metric" not in low and "registr" not in low:
+                        continue
+                    if not (sub.args and isinstance(sub.args[0], ast.Constant)
+                            and isinstance(sub.args[0].value, str)):
+                        continue
+                    reported.add(id(sub))
+                    yield sub, (
+                        f"{name}({sub.args[0].value!r}) inside a loop re-resolves the "
+                        "instrument every iteration; hoist it before the loop"
+                    )
 
 
 @register

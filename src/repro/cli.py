@@ -6,8 +6,10 @@ experiment entry points (``table1``, ``fig06`` ... ``fig17``, ``ablation``,
 Every experiment accepts ``--clips`` / ``--frames`` to trade fidelity for
 time; results print as the same text tables the benchmark suite emits.
 ``lint`` runs the project-specific static analyser, ``bench`` the
-perf/memory benchmark harness (with ``--compare`` regression gating), and
-``report`` joins a ``BENCH_*.json`` and a trace JSONL into one run report.
+perf/memory benchmark harness (with ``--compare`` regression gating),
+``report`` joins a ``BENCH_*.json``, a trace JSONL and a metrics JSONL
+into one run report, and ``top`` is the live telemetry dashboard over a
+streaming run (``--once`` for a CI snapshot).
 """
 
 from __future__ import annotations
@@ -352,17 +354,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    """Join a bench document and a frame trace into one run report."""
+    """Join a bench document, a frame trace and a metrics JSONL into one
+    run report."""
     from pathlib import Path
 
     from repro.bench import load_doc, run_report
+    from repro.metrics import read_metrics_jsonl
     from repro.obs import read_jsonl
 
     doc = load_doc(args.bench) if args.bench else None
     meta, frames = (None, None)
     if args.trace:
         meta, frames = read_jsonl(args.trace)
-    text = run_report(doc, meta, frames, fmt=args.format)
+    metrics = read_metrics_jsonl(args.metrics) if args.metrics else None
+    text = run_report(doc, meta, frames, metrics=metrics, fmt=args.format)
     if args.out:
         Path(args.out).write_text(text, encoding="utf-8")
         print(f"wrote {args.out}")
@@ -398,6 +403,103 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"NEW {f.path}:{f.line}:{f.col}: {f.rule} {f.message}")
         return 0 if cmp.ok else 2
     return 0 if result.ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live windowed-telemetry dashboard over one streaming DiVE run.
+
+    Builds the bursty-outage scenario (constant uplink with periodic
+    outages, bounded queue, per-frame deadline) with a live metrics
+    registry and flight recorder, then either re-renders the dashboard at
+    ``--refresh`` intervals while the run progresses on a worker thread,
+    or (``--once``) runs to completion and prints a single frame — the CI
+    smoke mode.  ``--metrics-out`` / ``--flight-out`` write the JSONL
+    exports afterwards.
+    """
+    import threading
+
+    from repro.core import DiVEScheme
+    from repro.edge import EdgeServer, QualityAwareDetector
+    from repro.metrics import (
+        FlightRecorder,
+        MetricsRegistry,
+        registry_digest,
+        render_top,
+        write_flight_jsonl,
+        write_metrics_jsonl,
+    )
+    from repro.network import constant_trace, with_outages
+    from repro.stream import StreamConfig, StreamRunner
+    from repro.world import nuscenes_like, robotcar_like
+
+    maker = {"nuscenes": nuscenes_like, "robotcar": robotcar_like}[args.dataset]
+    clip = maker(args.seed, n_frames=args.frames)
+    trace = constant_trace(scaled_bandwidth(args.bandwidth, clip))
+    if not args.no_outages:
+        trace = with_outages(trace, outage_duration=0.2, interval=0.4, first_outage=0.2)
+    registry = MetricsRegistry(
+        meta={
+            "dataset": args.dataset, "seed": args.seed, "frames": args.frames,
+            "bandwidth_mbps": args.bandwidth, "policy": args.policy,
+            "workers": args.stream_workers,
+        }
+    )
+    recorder = FlightRecorder()
+    config = StreamConfig(
+        workers=args.stream_workers,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        deadline=args.deadline,
+    )
+    server = EdgeServer(QualityAwareDetector(seed=args.detector_seed), metrics=registry)
+    runner = StreamRunner(DiVEScheme(), config, metrics=registry, flight_recorder=recorder)
+    title = (
+        f"repro top — DiVE on {clip.name} @ {args.bandwidth:g} Mbps "
+        f"[{args.policy}, {args.stream_workers} workers]"
+    )
+
+    outcome: dict[str, object] = {}
+
+    def _run() -> None:
+        try:
+            outcome["result"] = runner.run(clip, trace, server)
+        except BaseException as exc:  # re-raised on the main thread below
+            outcome["error"] = exc
+
+    if args.once:
+        _run()
+    else:
+        worker = threading.Thread(target=_run, name="repro-top-run", daemon=True)
+        worker.start()
+        try:
+            while worker.is_alive():
+                frame = render_top(
+                    registry.snapshot(), flight=recorder.snapshot(),
+                    width=args.width, title=title,
+                )
+                sys.stdout.write("\x1b[H\x1b[2J" + frame + "\n")
+                sys.stdout.flush()
+                worker.join(timeout=args.refresh)
+        except KeyboardInterrupt:
+            print("\ninterrupted; waiting for the run to finish...", file=sys.stderr)
+        worker.join()
+    if "error" in outcome:
+        raise outcome["error"]  # type: ignore[misc]
+    result = outcome.get("result")
+    stats = result.stats if result is not None else None
+    print(render_top(
+        registry.snapshot(), stats=stats, flight=recorder.snapshot(),
+        width=args.width, title=title,
+    ))
+    print(f"\nmetrics digest {registry_digest(registry)[:16]}", end="")
+    if recorder.dumps:
+        print(f"  flight digest {recorder.digest()[:16]}", end="")
+    print()
+    if args.metrics_out:
+        print(f"wrote {write_metrics_jsonl(args.metrics_out, registry)}")
+    if args.flight_out:
+        print(f"wrote {write_flight_jsonl(args.flight_out, recorder)}")
+    return 0
 
 
 def _cmd_scalability(args: argparse.Namespace) -> str:
@@ -520,12 +622,47 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true", help="list registered benchmarks and exit")
     report = sub.add_parser(
         "report",
-        help="Unified run report joining a BENCH_*.json and a repro-trace JSONL",
+        help="Unified run report joining a BENCH_*.json, a repro-trace JSONL and a metrics JSONL",
     )
     report.add_argument("--bench", default=None, metavar="BENCH_JSON", help="bench results document")
     report.add_argument("--trace", default=None, metavar="TRACE_JSONL", help="frame trace from `repro trace`")
+    report.add_argument(
+        "--metrics", default=None, metavar="METRICS_JSONL",
+        help="windowed metrics from `repro top --metrics-out` (or write_metrics_jsonl)",
+    )
     report.add_argument("--format", choices=("markdown", "text"), default="markdown")
     report.add_argument("--out", default=None, help="write the report here instead of stdout")
+    top = sub.add_parser(
+        "top",
+        help="Live windowed-telemetry dashboard over a streaming DiVE run (repro.metrics)",
+    )
+    top.add_argument("--dataset", choices=("nuscenes", "robotcar"), default="nuscenes")
+    top.add_argument("--seed", type=int, default=0)
+    top.add_argument("--frames", type=int, default=24, help="frames in the streamed clip")
+    top.add_argument("--detector-seed", type=int, default=7)
+    top.add_argument("--bandwidth", type=float, default=2.0, help="paper-scale Mbps")
+    top.add_argument("--stream-workers", type=int, default=2, help="capture render worker threads")
+    top.add_argument("--queue-capacity", type=int, default=2, help="uplink queue bound")
+    top.add_argument(
+        "--policy", choices=("block", "degrade-qp", "drop-oldest"), default="drop-oldest",
+        help="backpressure policy at a full uplink queue",
+    )
+    top.add_argument(
+        "--deadline", type=float, default=0.25,
+        help="per-frame deadline in seconds (capture -> result) for late accounting",
+    )
+    top.add_argument(
+        "--no-outages", action="store_true",
+        help="constant uplink instead of the bursty-outage scenario",
+    )
+    top.add_argument("--refresh", type=float, default=0.5, help="live redraw interval (wall seconds)")
+    top.add_argument("--width", type=int, default=32, help="sparkline width in windows")
+    top.add_argument(
+        "--once", action="store_true",
+        help="run to completion, print one dashboard frame and exit (CI smoke mode)",
+    )
+    top.add_argument("--metrics-out", default=None, metavar="FILE", help="write the metrics JSONL here")
+    top.add_argument("--flight-out", default=None, metavar="FILE", help="write flight-recorder dumps (JSONL) here")
     return parser
 
 
@@ -537,6 +674,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_bench(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "top":
+        return _cmd_top(args)
     func, _ = _COMMANDS[args.command]
     print(func(args))
     return 0

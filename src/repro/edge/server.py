@@ -17,6 +17,8 @@ from repro.check.sanitize import NULL_SANITIZER, ArraySanitizer, NullSanitizer
 from repro.codec.decoder import VideoDecoder
 from repro.codec.encoder import EncodedFrame
 from repro.edge.detector import Detection, QualityAwareDetector
+from repro.metrics.hist import linear_buckets
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 from repro.world.annotations import FrameRecord
 
@@ -69,6 +71,14 @@ class EdgeServer:
         live, the server's decoder lock is wrapped so acquisition-order
         inversions against other sanitized locks raise instead of
         deadlocking.
+    metrics:
+        Virtual-time metrics registry (see :mod:`repro.metrics`).
+        Requests, batch size, per-request detections and modelled
+        service time are recorded at the *simulated* arrival time —
+        never wall clock — so server telemetry shares the runtime's
+        worker-count invariance.  The batch size gauge is 1 per request
+        today; it is the seam the fleet-serving batched-inference work
+        (ROADMAP item 1) will report through.
     """
 
     def __init__(
@@ -80,12 +90,25 @@ class EdgeServer:
         tracer: Tracer | NullTracer = NULL_TRACER,
         sanitizer: ArraySanitizer | NullSanitizer = NULL_SANITIZER,
         lock_sanitizer: LockOrderSanitizer | NullLockSanitizer = NULL_LOCK_SANITIZER,
+        metrics: MetricsRegistry | NullRegistry = NULL_REGISTRY,
     ):
         self.detector = detector or QualityAwareDetector()
         self.inference_latency = float(inference_latency)
         self.downlink_latency = float(downlink_latency)
         self.tracer = tracer
         self.sanitizer = sanitizer
+        self.metrics = metrics
+        # Instruments hoisted out of the per-request path (lint S015).
+        self._m_requests = metrics.counter(
+            "edge_requests", help="inference requests by entry point")
+        self._m_batch = metrics.gauge(
+            "edge_batch_size", help="frames per inference batch (1 until fleet batching)")
+        self._m_detections = metrics.histogram(
+            "edge_detections", buckets=linear_buckets(0.0, 32.0, 33),
+            help="detections returned per request")
+        self._m_service = metrics.counter(
+            "edge_service_seconds", unit="s",
+            help="modelled inference seconds spent on the serverless fabric")
         self._decoder = VideoDecoder(sanitizer=sanitizer)
         # The decoder is stateful (reference frames), so concurrent callers —
         # the streaming inference stage runs on its own thread — must not
@@ -113,6 +136,8 @@ class EdgeServer:
                 detections = self.detector.detect(decoded, record)
         if tr.enabled:
             tr.gauge("server_detections", float(len(detections)))
+        if self.metrics.enabled:
+            self._record_request("process", arrival_time, len(detections))
         return InferenceResult(
             frame_index=record.index,
             detections=detections,
@@ -129,12 +154,26 @@ class EdgeServer:
         with self._lock, tr.span("server"):
             with tr.span("detect"):
                 detections = self.detector.detect(image, record)
+        if self.metrics.enabled:
+            self._record_request("process_image", arrival_time, len(detections))
         return InferenceResult(
             frame_index=record.index,
             detections=detections,
             arrival_time=arrival_time,
             result_time=arrival_time + self.inference_latency + self.downlink_latency,
         )
+
+    def _record_request(self, method: str, arrival_time: float, n_detections: int) -> None:
+        """Virtual-time server telemetry for one inference request.
+
+        Runs on the streaming inference thread, but the request/reply
+        handshake serialises it with the agent, so recording order is
+        deterministic (same argument as tracer span placement).
+        """
+        self._m_requests.labels(method=method).inc(1.0, at=arrival_time)
+        self._m_batch.set(1.0, at=arrival_time)
+        self._m_detections.observe(float(n_detections), at=arrival_time)
+        self._m_service.inc(self.inference_latency, at=arrival_time)
 
     def ground_truth(self, record: FrameRecord) -> list[Detection]:
         """Raw-frame detections — the evaluation ground truth."""

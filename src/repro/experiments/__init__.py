@@ -41,8 +41,10 @@ from repro.experiments.scalability import ScalabilityResult, replay_shared_serve
 from repro.experiments.runner import (
     EvaluationResult,
     evaluate_run,
+    flight_recorder_for,
     ground_truth_for,
     lock_sanitizer_for,
+    metrics_for,
     run_scheme,
     sanitizer_for,
     tracer_for,
@@ -85,7 +87,9 @@ __all__ = [
     "ScalabilityResult",
     "run_scheme",
     "run_table1",
+    "flight_recorder_for",
     "lock_sanitizer_for",
+    "metrics_for",
     "sanitizer_for",
     "tracer_for",
     "scaled_bandwidth",

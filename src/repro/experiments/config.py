@@ -88,6 +88,21 @@ class ExperimentConfig:
     stream_deadline:
         Per-frame budget in seconds (capture → result back at the
         agent); ``None`` disables late accounting.
+    metrics:
+        Virtual-time metrics switch (see :mod:`repro.metrics`).  Off by
+        default — runs then use the shared :data:`~repro.metrics.
+        NULL_REGISTRY` and pay nothing.  When on, the streaming runtime
+        and edge server record windowed Counter/Gauge/Histogram
+        timelines keyed to simulated time (bit-identical for any worker
+        count); :func:`repro.experiments.runner.metrics_for` turns this
+        into a registry instance.
+    flight_recorder:
+        Flight-recorder switch (see :mod:`repro.metrics.flight`): a
+        bounded ring of frame lifecycle events dumped as a deterministic
+        JSONL post-mortem when an anomaly trigger fires (deadline-miss
+        burst, sustained queue saturation, sanitizer errors).
+        :func:`repro.experiments.runner.flight_recorder_for` turns this
+        into a recorder instance.
     """
 
     n_clips: int = 3
@@ -100,6 +115,8 @@ class ExperimentConfig:
     stream_queue_capacity: int | None = None
     stream_policy: str = "block"
     stream_deadline: float | None = None
+    metrics: bool = False
+    flight_recorder: bool = False
 
     def stream_config(self):
         """The :class:`repro.stream.StreamConfig` these knobs describe, or

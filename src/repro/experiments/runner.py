@@ -13,6 +13,8 @@ from repro.edge.detector import Detection, QualityAwareDetector
 from repro.edge.evaluation import evaluate_detections
 from repro.edge.server import EdgeServer
 from repro.experiments.config import ExperimentConfig
+from repro.metrics.flight import NULL_FLIGHT_RECORDER, FlightRecorder, NullFlightRecorder
+from repro.metrics.registry import NULL_REGISTRY, MetricsRegistry, NullRegistry
 from repro.network.trace import BandwidthTrace
 from repro.obs import NULL_TRACER, NullTracer, Tracer
 from repro.world.datasets import Clip
@@ -21,8 +23,10 @@ __all__ = [
     "EvaluationResult",
     "aggregate",
     "evaluate_run",
+    "flight_recorder_for",
     "ground_truth_for",
     "lock_sanitizer_for",
+    "metrics_for",
     "run_scheme",
     "sanitizer_for",
     "tracer_for",
@@ -51,6 +55,12 @@ class EvaluationResult:
         Streaming truth accounting (:class:`repro.stream.StreamStats`)
         when the run went through the pipelined runtime; ``None`` for
         batch runs.
+    metrics:
+        The live :class:`~repro.metrics.MetricsRegistry` threaded into
+        the run (``None`` when telemetry was off).
+    flight:
+        The live :class:`~repro.metrics.FlightRecorder` (``None`` when
+        off) — check ``flight.dumps`` for post-mortems.
     """
 
     scheme: str
@@ -61,6 +71,8 @@ class EvaluationResult:
     drop_rate: float
     run: SchemeRun = field(repr=False)
     stream: object | None = field(default=None, repr=False)
+    metrics: object | None = field(default=None, repr=False)
+    flight: object | None = field(default=None, repr=False)
 
     @property
     def map(self) -> float:
@@ -105,6 +117,27 @@ def lock_sanitizer_for(config: ExperimentConfig) -> LockOrderSanitizer | NullLoc
     return LockOrderSanitizer() if config.sanitize else NULL_LOCK_SANITIZER
 
 
+def metrics_for(config: ExperimentConfig) -> MetricsRegistry | NullRegistry:
+    """The metrics registry dictated by a config's ``metrics`` switch.
+
+    A fresh live :class:`~repro.metrics.MetricsRegistry` when
+    ``config.metrics`` is set, the shared no-op otherwise — pass the
+    result to :func:`run_scheme` (possibly across several runs; windows
+    are keyed by virtual time, so runs over the same clip overlay).
+    """
+    return MetricsRegistry() if config.metrics else NULL_REGISTRY
+
+
+def flight_recorder_for(config: ExperimentConfig) -> FlightRecorder | NullFlightRecorder:
+    """The flight recorder dictated by ``config.flight_recorder``.
+
+    A fresh live :class:`~repro.metrics.FlightRecorder` when the switch
+    is set, the shared no-op otherwise — pass the result to
+    :func:`run_scheme` and check ``.dumps`` afterwards.
+    """
+    return FlightRecorder() if config.flight_recorder else NULL_FLIGHT_RECORDER
+
+
 def run_scheme(
     scheme: AnalyticsScheme,
     clip: Clip,
@@ -116,6 +149,8 @@ def run_scheme(
     sanitizer: ArraySanitizer | NullSanitizer | None = None,
     lock_sanitizer: LockOrderSanitizer | NullLockSanitizer | None = None,
     stream=None,
+    metrics: MetricsRegistry | NullRegistry | None = None,
+    flight_recorder: FlightRecorder | NullFlightRecorder | None = None,
 ) -> EvaluationResult:
     """Run one scheme on one clip and evaluate it.
 
@@ -135,6 +170,13 @@ def run_scheme(
     defaults) — routes the run through the pipelined streaming runtime
     (:class:`repro.stream.StreamRunner`); the result then carries the
     streaming truth accounting in :attr:`EvaluationResult.stream`.
+
+    ``metrics`` (see :func:`metrics_for`) threads a virtual-time metrics
+    registry through the edge server and, for streaming runs, the queue
+    and runner; ``flight_recorder`` (see :func:`flight_recorder_for`)
+    arms the lifecycle ring buffer and its anomaly triggers.  Both land
+    back on the result (:attr:`EvaluationResult.metrics` /
+    :attr:`~EvaluationResult.flight`) when live.
     """
     if tracer is not None:
         scheme.use_tracer(tracer)
@@ -146,18 +188,27 @@ def run_scheme(
         scheme.use_sanitizer(sanitizer)
     if lock_sanitizer is not None:
         scheme.use_lock_sanitizer(lock_sanitizer)
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    flight = flight_recorder if flight_recorder is not None else NULL_FLIGHT_RECORDER
+    if registry.enabled:
+        registry.meta.setdefault("runs", []).append(
+            {"scheme": scheme.name, "clip": clip.name, "n_frames": clip.n_frames}
+        )
     server = EdgeServer(
         QualityAwareDetector(seed=detector_seed),
         tracer=scheme.tracer,
         sanitizer=scheme.sanitizer,
         lock_sanitizer=scheme.lock_sanitizer,
+        metrics=registry,
     )
     stats = None
     if stream is not None and stream is not False:
         from repro.stream import StreamConfig, StreamRunner
 
         config = StreamConfig() if stream is True else stream
-        result = StreamRunner(scheme, config).run(clip, trace, server)
+        result = StreamRunner(
+            scheme, config, metrics=registry, flight_recorder=flight,
+        ).run(clip, trace, server)
         run, stats = result.run, result.stats
         if tracer is not None and tracer.enabled:
             tracer.meta.setdefault("stream", []).append(
@@ -167,6 +218,8 @@ def run_scheme(
         run = scheme.run(clip, trace, server)
     evaluated = evaluate_run(run, clip, detector_seed=detector_seed, ground_truth=ground_truth)
     evaluated.stream = stats
+    evaluated.metrics = registry if registry.enabled else None
+    evaluated.flight = flight if flight.enabled else None
     return evaluated
 
 

@@ -37,6 +37,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.metrics.flight import NULL_FLIGHT_RECORDER
+from repro.metrics.registry import DEFAULT_LATENCY_BUCKETS, NULL_REGISTRY
 from repro.network.link import UplinkSimulator
 from repro.network.trace import BandwidthTrace
 from repro.stream.messages import QueueOutcome
@@ -101,6 +103,17 @@ class BackpressureQueue:
         Head-of-line timer, as in :class:`UplinkSimulator`.
     on_seal:
         Called with each :class:`QueueOutcome` the moment it is sealed.
+    metrics:
+        A :class:`~repro.metrics.MetricsRegistry` (default: the shared
+        no-op).  Instruments are hoisted here — created once per queue,
+        never inside the per-frame path (lint rule S015) — and record
+        only virtual-time quantities, so timelines are identical for any
+        worker count.
+    flight:
+        A :class:`~repro.metrics.FlightRecorder` (default: the shared
+        no-op) fed every job lifecycle event; sustained saturation
+        (``flight.saturation_burst`` consecutive submissions finding the
+        queue full) fires its trigger.
     """
 
     def __init__(
@@ -112,6 +125,8 @@ class BackpressureQueue:
         degrade_factor: float = 0.5,
         hol_timeout: float | None = None,
         on_seal=None,
+        metrics=NULL_REGISTRY,
+        flight=NULL_FLIGHT_RECORDER,
     ):
         if policy not in POLICIES:
             raise ValueError(f"unknown backpressure policy {policy!r}; expected one of {POLICIES}")
@@ -131,6 +146,31 @@ class BackpressureQueue:
         self._next_seq = 0
         self._watermark = 0.0
         self._blocked_total = 0.0
+        self._metrics = metrics
+        self._flight = flight
+        self._full_streak = 0
+        # Instruments hoisted out of the per-frame path (S015): the null
+        # registry hands back shared inert singletons, so this costs
+        # nothing when metrics are off.
+        self._m_depth = metrics.gauge(
+            "stream_queue_depth", help="jobs holding an uplink queue slot")
+        self._m_blocked = metrics.counter(
+            "stream_queue_blocked_seconds", unit="s",
+            help="simulated seconds the encoder stalled for a slot")
+        self._m_occupancy = metrics.counter(
+            "stream_queue_occupancy_seconds", unit="s",
+            help="slot-holding time per sealed job (admit to release)")
+        self._m_outcomes = metrics.counter(
+            "stream_queue_outcomes", help="sealed jobs by status/reason")
+        self._m_wait = metrics.histogram(
+            "stream_queue_wait_seconds", buckets=DEFAULT_LATENCY_BUCKETS, unit="s",
+            help="enqueue-to-wire wait of transmitted jobs")
+        self._m_service = metrics.histogram(
+            "stream_uplink_service_seconds", buckets=DEFAULT_LATENCY_BUCKETS, unit="s",
+            help="on-the-wire transmission time of delivered jobs")
+        self._m_goodput = metrics.counter(
+            "stream_uplink_sent_bytes", unit="bytes",
+            help="bytes that actually crossed the link (goodput)")
 
     # ------------------------------------------------------------- submit
 
@@ -146,7 +186,17 @@ class BackpressureQueue:
         degraded = False
         admit_time = t
         blocked = 0.0
-        if self.capacity is not None and self._occupants(t) >= self.capacity:
+        full = self.capacity is not None and self._occupants(t) >= self.capacity
+        if self._flight.enabled:
+            self._flight.record("submit", t, seq=seq, frame=frame_index,
+                                bytes=int(size_bytes), full=full)
+            self._full_streak = self._full_streak + 1 if full else 0
+            if full and self._full_streak == self._flight.saturation_burst:
+                self._flight.trigger(
+                    "queue-saturation", t,
+                    streak=self._full_streak, capacity=self.capacity,
+                )
+        if full:
             if self.policy == "drop-oldest":
                 if self._pending:
                     self._evict(self._pending.pop(0), at=t)
@@ -178,6 +228,10 @@ class BackpressureQueue:
                 blocked=blocked, degraded=degraded,
             )
         )
+        if self._metrics.enabled:
+            self._m_depth.set(float(self._occupants(t)), at=t)
+            if blocked:
+                self._m_blocked.inc(blocked, at=t)
         return Admission(seq, True, degraded, size_eff, admit_time, blocked)
 
     def abandon(self, seq: int, at: float) -> None:
@@ -192,6 +246,8 @@ class BackpressureQueue:
         remembered for reconciliation.
         """
         self._abandoned.add(seq)
+        if self._flight.enabled:
+            self._flight.record("abandon", at, seq=seq)
         self._advance(at)
         for i, job in enumerate(self._pending):
             if job.seq == seq:
@@ -256,6 +312,20 @@ class BackpressureQueue:
 
     def _seal(self, outcome: QueueOutcome) -> None:
         self._sealed[outcome.seq] = outcome
+        if self._metrics.enabled:
+            o = outcome
+            self._m_outcomes.labels(status=o.status, reason=o.reason).inc(1.0, at=o.release_time)
+            self._m_occupancy.inc(o.release_time - o.admit_time, at=o.release_time)
+            if o.status != "dropped":
+                self._m_wait.observe(o.start_time - o.enqueue_time, at=o.start_time)
+                self._m_service.observe(o.finish_time - o.start_time, at=o.finish_time)
+                self._m_goodput.inc(float(o.sent_bytes), at=o.finish_time)
+        if self._flight.enabled:
+            self._flight.record(
+                "seal", outcome.release_time, seq=outcome.seq,
+                frame=outcome.frame_index, status=outcome.status,
+                reason=outcome.reason, sent=outcome.sent_bytes,
+            )
         if self._on_seal is not None:
             self._on_seal(outcome)
 

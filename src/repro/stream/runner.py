@@ -32,7 +32,12 @@ import time
 from dataclasses import dataclass, field
 
 from repro.baselines.base import AnalyticsScheme, SchemeRun
+from repro.check.lockorder import LockOrderError
+from repro.check.sanitize import SanitizeError
 from repro.edge.server import EdgeServer
+from repro.metrics.flight import NULL_FLIGHT_RECORDER
+from repro.metrics.hist import linear_buckets
+from repro.metrics.registry import DEFAULT_LATENCY_BUCKETS, NULL_REGISTRY
 from repro.network.link import TransmissionResult, UplinkSimulator
 from repro.network.trace import BandwidthTrace
 from repro.obs.tracer import NULL_TRACER
@@ -116,10 +121,17 @@ class StreamConfig:
 
 @dataclass
 class StreamResult:
-    """A scheme run plus the streaming truth accounting."""
+    """A scheme run plus the streaming truth accounting.
+
+    ``metrics`` / ``flight`` echo the runner's registry and flight
+    recorder (the shared no-ops unless the caller supplied live ones),
+    so consumers like ``repro top`` can export without re-plumbing.
+    """
 
     run: SchemeRun
     stats: StreamStats
+    metrics: object = NULL_REGISTRY
+    flight: object = NULL_FLIGHT_RECORDER
 
 
 # --------------------------------------------------------------- stages
@@ -130,8 +142,14 @@ class _CaptureStage:
 
     def __init__(self, clip: Clip, *, workers: int, prefetch: int,
                  clock: VirtualClock, abort: threading.Event, watchdog: float | None,
-                 lock_sanitizer=None):
+                 lock_sanitizer=None, metrics=NULL_REGISTRY):
         self._clip = clip
+        self._metrics = metrics
+        # Hoisted (S015): counted at the frame's virtual capture time on
+        # the agent-side delivery path, so the timeline is identical no
+        # matter how many render workers raced to fill the buffer.
+        self._m_captured = metrics.counter(
+            "stream_frames_captured", help="frames handed to the agent by capture")
         self._workers = workers
         self._prefetch = max(prefetch, workers)
         self._clock = clock
@@ -210,6 +228,8 @@ class _CaptureStage:
                 self._recent.pop(next(iter(self._recent)))
             self._cond.notify_all()
         self._clock.stamp("capture", self._clip.time_of(index))
+        if self._metrics.enabled:
+            self._m_captured.inc(1.0, at=self._clip.time_of(index))
         return record
 
     def stop(self) -> None:
@@ -423,11 +443,25 @@ class _RunContext:
 
 
 class StreamRunner:
-    """Runs one scheme over one clip as a concurrent pipeline."""
+    """Runs one scheme over one clip as a concurrent pipeline.
 
-    def __init__(self, scheme: AnalyticsScheme, config: StreamConfig | None = None):
+    ``metrics`` (a :class:`~repro.metrics.MetricsRegistry`) and
+    ``flight_recorder`` (a :class:`~repro.metrics.FlightRecorder`)
+    default to the shared no-ops; live ones are threaded into the truth
+    queue and the capture stage, fed per-frame verdicts at
+    reconciliation, and fired as triggers on a deadline-miss burst or a
+    :class:`SanitizeError` / :class:`LockOrderError` escaping the
+    scheme.  All recorded quantities are virtual-time arithmetic, so the
+    registry digest and flight-recorder dumps are bit-identical for any
+    worker count.
+    """
+
+    def __init__(self, scheme: AnalyticsScheme, config: StreamConfig | None = None, *,
+                 metrics=NULL_REGISTRY, flight_recorder=NULL_FLIGHT_RECORDER):
         self.scheme = scheme
         self.config = config or StreamConfig()
+        self.metrics = metrics
+        self.flight = flight_recorder
 
     def run(self, clip: Clip, trace: BandwidthTrace, server: EdgeServer) -> StreamResult:
         cfg = self.config
@@ -446,6 +480,7 @@ class StreamRunner:
                     trace_, capacity=cfg.queue_capacity, policy=cfg.policy,
                     degrade_factor=cfg.degrade_factor, hol_timeout=hol_timeout,
                     on_seal=accounting.on_seal,
+                    metrics=self.metrics, flight=self.flight,
                 )
             return StreamingUplink(
                 trace_, hol_timeout=hol_timeout, tracer=tracer,
@@ -456,7 +491,7 @@ class StreamRunner:
         capture = _CaptureStage(
             clip, workers=cfg.workers, prefetch=cfg.prefetch,
             clock=clock, abort=abort, watchdog=cfg.watchdog,
-            lock_sanitizer=lock_sanitizer,
+            lock_sanitizer=lock_sanitizer, metrics=self.metrics,
         )
         stream_clip = _StreamClip(clip, capture)
         inference = _InferenceStage(server, abort, cfg.watchdog)
@@ -469,6 +504,16 @@ class StreamRunner:
             inference.start()
             accounting.start()
             run = self.scheme.run(stream_clip, trace, proxy)
+        except (SanitizeError, LockOrderError) as exc:
+            # Sanitizer trips are exactly what a post-mortem is for:
+            # snapshot the recent lifecycle events before unwinding.
+            abort.set()
+            if self.flight.enabled:
+                self.flight.trigger(
+                    "sanitize-error" if isinstance(exc, SanitizeError) else "lock-order-error",
+                    clock.now, error=type(exc).__name__, message=str(exc)[:200],
+                )
+            raise
         except BaseException:
             abort.set()
             raise
@@ -480,7 +525,7 @@ class StreamRunner:
         accounting.stop()
         wall = time.perf_counter() - started
         stats = self._reconcile(run, ctx, outcomes, server, cfg, clock, wall)
-        return StreamResult(run=run, stats=stats)
+        return StreamResult(run=run, stats=stats, metrics=self.metrics, flight=self.flight)
 
     # ------------------------------------------------------ reconciliation
 
@@ -503,6 +548,55 @@ class StreamRunner:
         records: list[StreamFrameRecord] = []
         last_good: list = []
         late = local = 0
+
+        # Per-frame verdict telemetry.  Reconciliation is single-threaded
+        # and iterates frames in index order, so recording order (and the
+        # deadline-burst trigger point) is deterministic.  Instruments are
+        # hoisted out of the frame loop (lint S015); the shared no-ops
+        # make this free when telemetry is off.
+        metrics, flight = self.metrics, self.flight
+        m_status = metrics.counter(
+            "stream_frame_status", help="reconciled frame verdicts by status")
+        m_late = metrics.counter(
+            "stream_frames_late", help="frames whose result missed the deadline")
+        m_resp = metrics.histogram(
+            "stream_response_seconds", buckets=DEFAULT_LATENCY_BUCKETS, unit="s",
+            help="capture-to-result latency of frames with a finite response")
+        m_slack = metrics.histogram(
+            "stream_deadline_slack_seconds", buckets=linear_buckets(-2.0, 2.0, 81), unit="s",
+            help="deadline minus response time (negative = late)")
+        recent_late: list[bool] = []
+        burst_fired = False
+
+        def note(fr, status: str, reason: str, rt: float, is_late: bool) -> None:
+            nonlocal burst_fired
+            if metrics.enabled:
+                m_status.labels(status=status).inc(1.0, at=fr.capture_time)
+                if is_late:
+                    m_late.inc(1.0, at=fr.capture_time)
+                if rt != _INF:
+                    m_resp.observe(rt - fr.capture_time, at=rt)
+                    if cfg.deadline is not None:
+                        m_slack.observe(fr.capture_time + cfg.deadline - rt, at=rt)
+            if flight.enabled:
+                # A frame counts as a deadline miss if its result came
+                # back late *or* never came back at all (dropped/stale) —
+                # the agent's deadline passed either way.
+                miss = is_late or (
+                    cfg.deadline is not None and rt == _INF and status != "local")
+                flight.record("frame", fr.capture_time, frame=fr.index,
+                              status=status, reason=reason, late=is_late, miss=miss)
+                recent_late.append(miss)
+                if len(recent_late) > flight.burst_window:
+                    recent_late.pop(0)
+                if not burst_fired and sum(recent_late) >= flight.deadline_burst:
+                    burst_fired = True
+                    flight.trigger(
+                        "deadline-burst", fr.capture_time, frame=fr.index,
+                        late=sum(recent_late), window=len(recent_late),
+                        deadline=cfg.deadline,
+                    )
+
         for fr in sorted(run.frames, key=lambda f: f.index):
             seqs = ctx.frame_seqs.get(fr.index, [])
             if not seqs or queue is None:
@@ -511,6 +605,7 @@ class StreamRunner:
                     index=fr.index, capture_time=fr.capture_time, status="local",
                     bytes_sent=fr.bytes_sent, result_time=rt,
                 ))
+                note(fr, "local", "", rt, False)
                 local += 1
                 continue
             outs = [o for o in (queue.outcome_for(s) for s in seqs) if o is not None]
@@ -559,6 +654,7 @@ class StreamRunner:
                 reason=reason, late=is_late, bytes_sent=fr.bytes_sent,
                 result_time=rt, blocked=blocked,
             ))
+            note(fr, status, reason, rt, is_late)
         return StreamStats(
             frames=len(run.frames),
             delivered=sum(o.status == "delivered" for o in outcomes),

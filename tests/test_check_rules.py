@@ -137,6 +137,21 @@ FIXTURES = {
             "    return header_bits + payload\n"
         ),
     ),
+    "S015": (
+        "src/repro/stream/x.py",
+        (
+            "def pump(frames, metrics, t):\n"
+            "    for fr in frames:\n"
+            "        metrics.counter('frames_seen').inc(1.0, at=t)\n"
+        ),
+        (
+            "def pump(frames, metrics, tracer, t):\n"
+            "    seen = metrics.counter('frames_seen')\n"
+            "    for fr in frames:\n"
+            "        seen.inc(1.0, at=t)\n"
+            "        tracer.gauge('qp', 31.0)\n"
+        ),
+    ),
     "S014": (
         "src/repro/codec/x.py",
         (
@@ -175,6 +190,21 @@ class TestRuleFixtures:
 
 
 class TestRuleDetails:
+    def test_metric_registry_constructed_in_loop_flagged(self):
+        src = "while pending:\n    registry = MetricsRegistry()\n"
+        findings = check_source(src, path="src/repro/stream/x.py")
+        assert "S015" in {f.rule for f in findings}
+
+    def test_tracer_gauge_sample_in_loop_not_flagged(self):
+        # Tracer.gauge(name, value) records a per-frame *sample*; only
+        # registry-receiver instrument lookups are the S015 smell.
+        src = "for fr in frames:\n    tr.gauge('server_detections', 3.0)\n"
+        assert check_source(src, path="src/repro/stream/x.py") == []
+
+    def test_metric_in_loop_out_of_scope_not_flagged(self):
+        src = "for fr in frames:\n    metrics.counter('n').inc(1.0, at=0.0)\n"
+        assert check_source(src, path="src/repro/edge/x.py") == []
+
     def test_legacy_np_random_flagged(self):
         findings = check_source("import numpy as np\nx = np.random.rand(3)\n", path="a.py")
         assert [f.rule for f in findings] == ["S001"]

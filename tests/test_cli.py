@@ -61,3 +61,37 @@ class TestMain:
         assert meta["scheme"] == "dive"
         assert len(frames) == 6
         assert all("bits" in f.counters for f in frames)
+
+    @pytest.mark.timeout(180)
+    def test_top_once_writes_metrics_and_flight_jsonl(self, capsys, tmp_path):
+        from repro.metrics import read_metrics_jsonl
+
+        metrics_path = tmp_path / "metrics.jsonl"
+        flight_path = tmp_path / "flight.jsonl"
+        rc = main([
+            "top", "--once", "--frames", "8",
+            "--metrics-out", str(metrics_path),
+            "--flight-out", str(flight_path),
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro top" in out and "series" in out
+        assert "stream_frames_captured" in out
+        assert "metrics digest" in out
+        doc = read_metrics_jsonl(metrics_path)
+        assert doc.window == 0.25
+        assert any(r["name"] == "stream_frames_captured" for r in doc.rows)
+        assert flight_path.exists()
+
+    @pytest.mark.timeout(180)
+    def test_report_metrics_section(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.jsonl"
+        rc = main(["top", "--once", "--frames", "8", "--metrics-out", str(metrics_path)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["report", "--metrics", str(metrics_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Metric quantiles" in out
+        assert "Metric counters" in out
+        assert "stream_response_seconds" in out

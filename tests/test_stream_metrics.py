@@ -1,0 +1,148 @@
+"""Streaming-runtime telemetry: worker-count invariance and post-mortems.
+
+The acceptance properties of the metrics layer, locked against the golden
+clip set on the bursty-outage scenario (bounded queue, drop-oldest,
+per-frame deadline, periodic uplink outages):
+
+- the windowed metric timeline — and its digest — is bit-identical for
+  1 vs 4 capture workers and across reruns;
+- the deadline-miss burst fires a flight-recorder dump whose JSONL
+  digest is identical across runs and worker counts;
+- running with live telemetry does not change the streaming truth
+  accounting (StreamStats digest) relative to the null path.
+"""
+
+import pytest
+
+from repro.core import DiVEScheme
+from repro.edge import EdgeServer, QualityAwareDetector
+from repro.experiments import (
+    ExperimentConfig,
+    flight_recorder_for,
+    metrics_for,
+    run_scheme,
+    scaled_bandwidth,
+)
+from repro.metrics import (
+    NULL_FLIGHT_RECORDER,
+    NULL_REGISTRY,
+    FlightRecorder,
+    MetricsRegistry,
+)
+from repro.network import constant_trace, with_outages
+from repro.stream import StreamConfig, StreamRunner
+
+pytestmark = pytest.mark.timeout(180)
+
+
+def _bursty_trace(clip):
+    return with_outages(
+        constant_trace(scaled_bandwidth(2.0, clip)),
+        outage_duration=0.2, interval=0.4, first_outage=0.2,
+    )
+
+
+def _run(clip, workers, *, metrics=None, flight=None):
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    recorder = flight if flight is not None else NULL_FLIGHT_RECORDER
+    config = StreamConfig(
+        workers=workers, queue_capacity=2, policy="drop-oldest",
+        deadline=0.25, watchdog=60.0,
+    )
+    server = EdgeServer(QualityAwareDetector(seed=7), metrics=registry)
+    runner = StreamRunner(DiVEScheme(), config, metrics=registry, flight_recorder=recorder)
+    return runner.run(clip, _bursty_trace(clip), server)
+
+
+class TestWorkerCountInvariance:
+    def test_metric_timeline_bit_identical_1_vs_4_workers(self, golden_clips):
+        clip = golden_clips[0]
+        metric_digests, flight_digests, stats_digests = [], [], []
+        for workers in (1, 4):
+            registry, recorder = MetricsRegistry(), FlightRecorder()
+            result = _run(clip, workers, metrics=registry, flight=recorder)
+            metric_digests.append(registry.digest())
+            flight_digests.append(recorder.digest())
+            stats_digests.append(result.stats.digest())
+        assert metric_digests[0] == metric_digests[1]
+        assert flight_digests[0] == flight_digests[1]
+        assert stats_digests[0] == stats_digests[1]
+
+    def test_deadline_burst_dump_reproducible_across_reruns(self, golden_clips):
+        clip = golden_clips[0]
+        recorders = []
+        for _ in range(2):
+            recorder = FlightRecorder()
+            _run(clip, 2, metrics=MetricsRegistry(), flight=recorder)
+            recorders.append(recorder)
+        reasons = [d["reason"] for d in recorders[0].dumps]
+        assert "deadline-burst" in reasons
+        assert reasons == [d["reason"] for d in recorders[1].dumps]
+        assert recorders[0].digest() == recorders[1].digest()
+
+    def test_live_metrics_do_not_change_stream_truth(self, golden_clips):
+        clip = golden_clips[1]
+        null_result = _run(clip, 2)
+        live_result = _run(clip, 2, metrics=MetricsRegistry(), flight=FlightRecorder())
+        assert live_result.stats.digest() == null_result.stats.digest()
+
+
+class TestInstrumentation:
+    def test_streaming_run_populates_expected_instruments(self, golden_clips):
+        registry = MetricsRegistry()
+        _run(golden_clips[0], 2, metrics=registry, flight=FlightRecorder())
+        names = {inst.name for inst in registry.instruments()}
+        assert {
+            "stream_frames_captured", "stream_queue_depth",
+            "stream_queue_occupancy_seconds", "stream_queue_wait_seconds",
+            "stream_uplink_service_seconds", "stream_uplink_sent_bytes",
+            "stream_frame_status", "stream_response_seconds",
+            "stream_deadline_slack_seconds",
+            "edge_requests", "edge_batch_size", "edge_service_seconds",
+        } <= names
+        captured = registry.counter("stream_frames_captured")
+        total = sum(
+            w.sum.value
+            for s in captured.series() for w in s.windows.values()
+        )
+        assert total == golden_clips[0].n_frames
+
+    def test_every_sample_sits_on_the_virtual_timeline(self, golden_clips):
+        registry = MetricsRegistry()
+        result = _run(golden_clips[0], 2, metrics=registry, flight=FlightRecorder())
+        horizon_index = registry.window_index(result.stats.virtual_makespan) + 1
+        for inst in registry.snapshot()["instruments"]:
+            for series in inst["series"]:
+                for win in series["windows"]:
+                    assert 0 <= win["index"] <= horizon_index, inst["name"]
+
+
+class TestExperimentsIntegration:
+    def test_config_switch_helpers(self):
+        off = ExperimentConfig()
+        assert metrics_for(off) is NULL_REGISTRY
+        assert flight_recorder_for(off) is NULL_FLIGHT_RECORDER
+        on = ExperimentConfig(metrics=True, flight_recorder=True)
+        assert metrics_for(on).enabled
+        assert flight_recorder_for(on).enabled
+
+    def test_run_scheme_batch_records_edge_metrics(self, golden_clips, golden_ground_truth):
+        clip, gt = golden_clips[0], golden_ground_truth[0]
+        registry = MetricsRegistry()
+        result = run_scheme(
+            DiVEScheme(), clip, constant_trace(scaled_bandwidth(2.0, clip)),
+            ground_truth=gt, metrics=registry,
+        )
+        assert result.metrics is registry
+        assert result.flight is None  # recorder stayed off
+        names = {inst.name for inst in registry.instruments()}
+        assert "edge_requests" in names and "edge_service_seconds" in names
+        assert registry.meta["runs"][0]["clip"] == clip.name
+
+    def test_run_scheme_default_is_null(self, golden_clips, golden_ground_truth):
+        clip, gt = golden_clips[0], golden_ground_truth[0]
+        result = run_scheme(
+            DiVEScheme(), clip, constant_trace(scaled_bandwidth(2.0, clip)),
+            ground_truth=gt,
+        )
+        assert result.metrics is None and result.flight is None
