@@ -342,6 +342,63 @@ benchmark("pipeline/stream_metrics", suite="macro", group="pipeline")(
 )
 
 
+def _build_fleet(scale: BenchScale) -> BenchCase:
+    """Multi-tenant fleet: 8 mixed-scheme agents, one cell, one edge.
+
+    The whole PR 1–9 stack in one number: eight streaming agents (all
+    four schemes, staggered starts) contend for a bursty-outage shared
+    cell and a one-worker batching edge with a bounded admission queue.
+    All outcome counts are virtual-time decisions — identical on every
+    repeat — so delivered frames, admission rejects and the fleet p99
+    response are pinned into the gated work dict; ``delivered_per_s`` is
+    the headline throughput.
+    """
+    from repro.fleet import FleetConfig, FleetRunner
+
+    fleet_config = FleetConfig(
+        n_agents=8,
+        n_frames=scale.macro_frames,
+        schemes=("dive", "dds", "eaar", "o3"),
+        datasets=("nuscenes",),
+        seed=scale.seed,
+        stagger=0.03,
+        resolution=(scale.frame_width, scale.frame_height),
+        demand_mbps=scale.macro_bandwidth_mbps,
+        uplink="constant",
+        cell_mbps=8.0,          # ~1 Mbps per agent when everyone uploads
+        cell_outages=True,
+        workers=1,
+        max_batch=2,
+        max_wait=0.005,
+        queue_capacity=2,
+        admission="reject",
+        deadline=0.25,
+    )
+    case = BenchCase(
+        fn=lambda: None,
+        work={"frames": float(fleet_config.n_agents * scale.macro_frames)},
+    )
+
+    def fn() -> object:
+        return FleetRunner(fleet_config).run()
+
+    case.fn = fn
+    # One reference run pins the deterministic fleet outcome into the
+    # gated work dict (same story as pipeline/stream above).
+    reference = fn()
+    delivered = sum(
+        1 for run in reference.runs for f in run.frames
+        if np.isfinite(f.response_time)
+    )
+    case.work["delivered"] = float(delivered)
+    case.work["rejects"] = float(reference.stats.rejected)
+    case.work["p99_response_ms"] = float(reference.stats.p99_response * 1000.0)
+    return case
+
+
+benchmark("pipeline/fleet", suite="macro", group="pipeline")(_build_fleet)
+
+
 # -- telemetry --------------------------------------------------------------
 
 

@@ -3,10 +3,10 @@
 Two halves of one correctness net:
 
 - **Static**: an AST rule engine (:mod:`repro.check.engine`) with the
-  per-node DiVE rules S001–S011 and S015 (:mod:`repro.check.rules`:
+  per-node DiVE rules S001–S011, S015 and S016 (:mod:`repro.check.rules`:
   seeded RNG discipline, perf_counter-only hot paths, explicit codec
   dtypes, QP bounds, bits-vs-bytes hygiene, hoisted metric instruments,
-  ...) plus a semantic layer — a project
+  batched-only edge calls from fleet code, ...) plus a semantic layer — a project
   symbol table (:mod:`repro.check.symbols`), call graph
   (:mod:`repro.check.callgraph`) and intraprocedural dataflow pass
   (:mod:`repro.check.dataflow`) powering S012 lock discipline

@@ -37,6 +37,12 @@ S015 metric-in-loop         warning  metric-instrument creation / registry
                                      "...")`` et al.) inside a loop body in
                                      ``codec/`` or ``stream/`` — hoist the
                                      instrument
+S016 direct-edge-call-in-fleet error ``EdgeServer.process*`` called from
+                                     ``fleet/`` code — fleet requests must
+                                     go through the ``BatchingEdgeServer``
+                                     front-end (the belief-side recording
+                                     wrapper in ``fleet/batch.py`` is the
+                                     one exemption)
 ==== ====================== ======== =======================================
 
 The semantic rules live in their own modules (they reason over the whole
@@ -56,6 +62,7 @@ from repro.check.engine import ModuleContext, Rule, dotted_name, register
 __all__ = [
     "BareExceptRule",
     "BitsBytesMixRule",
+    "DirectEdgeCallInFleetRule",
     "DtypeLessAllocRule",
     "LoopConstantAllocRule",
     "MetricInLoopRule",
@@ -483,6 +490,41 @@ class MetricInLoopRule(Rule):
                         f"{name}({sub.args[0].value!r}) inside a loop re-resolves the "
                         "instrument every iteration; hoist it before the loop"
                     )
+
+
+@register
+class DirectEdgeCallInFleetRule(Rule):
+    id = "S016"
+    name = "direct-edge-call-in-fleet"
+    severity = "error"
+    description = (
+        "fleet code calling EdgeServer.process/process_image directly "
+        "bypasses the batching front-end (queueing, batching, admission "
+        "control); route requests through BatchingEdgeServer — only the "
+        "belief-side RecordingEdgeServer wrapper may touch the raw server."
+    )
+    scope = ("fleet",)
+    exclude_files = ("batch.py",)  # the belief-side wrapper lives there
+    node_types = (ast.Call,)
+
+    _METHODS = frozenset({"process", "process_image"})
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        receiver, sep, method = name.rpartition(".")
+        if not sep or method not in self._METHODS:
+            return
+        # Receivers that are plausibly an edge server; `batcher.serve`
+        # and friends never match, nor do unrelated `x.process(...)`.
+        low = receiver.lower()
+        if "server" not in low and "edge" not in low:
+            return
+        yield node, (
+            f"{name}() from fleet code skips the batching front-end; "
+            "pool the request through BatchingEdgeServer.serve instead"
+        )
 
 
 @register

@@ -8,7 +8,8 @@ time; results print as the same text tables the benchmark suite emits.
 ``lint`` runs the project-specific static analyser, ``bench`` the
 perf/memory benchmark harness (with ``--compare`` regression gating),
 ``report`` joins a ``BENCH_*.json``, a trace JSONL and a metrics JSONL
-into one run report, and ``top`` is the live telemetry dashboard over a
+into one run report, ``fleet`` runs a multi-tenant fleet against one
+shared cell and batching edge, and ``top`` is the live telemetry dashboard over a
 streaming run (``--once`` for a CI snapshot).
 """
 
@@ -502,6 +503,79 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Multi-tenant fleet run: N streaming agents, one cell, one edge.
+
+    Builds a frozen :class:`~repro.fleet.FleetConfig` from the flags,
+    runs the fleet with a live metrics registry (``agent=…`` labels), and
+    prints the per-agent table plus the aggregate accounting — or, with
+    ``--format json``, the machine-readable document.  ``--metrics-out``
+    writes the windowed metrics JSONL afterwards (the CI smoke artefact).
+    """
+    import json
+    from dataclasses import asdict
+
+    from repro.fleet import FleetConfig, FleetRunner
+    from repro.metrics import MetricsRegistry, registry_digest, write_metrics_jsonl
+
+    config = FleetConfig(
+        n_agents=args.agents,
+        n_frames=args.frames,
+        schemes=tuple(s for s in args.schemes.split(",") if s),
+        datasets=tuple(d for d in args.datasets.split(",") if d),
+        seed=args.seed,
+        stagger=args.stagger,
+        demand_mbps=args.bandwidth,
+        uplink=args.uplink,
+        cell_mbps=args.cell,
+        cell_policy=args.cell_policy,
+        cell_outages=args.outages,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_wait=args.max_wait,
+        queue_capacity=args.queue_capacity,
+        admission=args.admission,
+        deadline=args.deadline,
+        detector_seed=args.detector_seed,
+        agent_workers=args.agent_workers,
+    )
+    config.validate()
+    registry = MetricsRegistry(meta={
+        "agents": args.agents, "frames": args.frames, "schemes": args.schemes,
+        "datasets": args.datasets, "cell_mbps": args.cell, "workers": args.workers,
+        "max_batch": args.max_batch, "admission": args.admission, "seed": args.seed,
+    })
+    result = FleetRunner(config, metrics=registry).run()
+    digest = result.digest()
+    if args.format == "json":
+        print(json.dumps({
+            "summary": result.stats.summary(),
+            "agents": [asdict(r) for r in result.reports],
+            "digest": digest,
+            "metrics_digest": registry_digest(registry),
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_table(
+            ["agent", "scheme", "frames", "mAP", "mean RT (ms)", "p99 RT (ms)",
+             "goodput B", "req", "rej", "stale"],
+            [r.row() for r in result.reports],
+            title=f"repro fleet — {args.agents} agents, {args.workers} workers, "
+                  f"max_batch {args.max_batch}",
+        ))
+        summary = result.stats.summary()
+        print(format_table(
+            ["metric", "value"], sorted(summary.items()),
+            title="fleet aggregate",
+        ))
+        print(f"fleet digest {digest[:16]}  metrics digest {registry_digest(registry)[:16]}")
+    if args.metrics_out:
+        # Keep --format json machine-readable: the artefact notice goes
+        # to stderr there, stdout stays one JSON document.
+        out = sys.stderr if args.format == "json" else sys.stdout
+        print(f"wrote {write_metrics_jsonl(args.metrics_out, registry)}", file=out)
+    return 0
+
+
 def _cmd_scalability(args: argparse.Namespace) -> str:
     rows = run_scalability(_config(args))
     return format_table(
@@ -663,6 +737,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     top.add_argument("--metrics-out", default=None, metavar="FILE", help="write the metrics JSONL here")
     top.add_argument("--flight-out", default=None, metavar="FILE", help="write flight-recorder dumps (JSONL) here")
+    fleet = sub.add_parser(
+        "fleet",
+        help="Multi-tenant fleet: N streaming agents share one cell and one batching edge",
+    )
+    fleet.add_argument("--agents", type=int, default=4, help="fleet size N")
+    fleet.add_argument("--frames", type=int, default=12, help="frames per agent clip")
+    fleet.add_argument(
+        "--schemes", default="dive,eaar,o3",
+        help="comma list cycled over agents (dive, dds, eaar, o3)",
+    )
+    fleet.add_argument(
+        "--datasets", default="nuscenes",
+        help="comma list cycled over agents (nuscenes, robotcar, kitti)",
+    )
+    fleet.add_argument("--seed", type=int, default=0, help="base clip seed (agent i uses seed+i)")
+    fleet.add_argument("--stagger", type=float, default=0.05, help="agent start spacing (sim seconds)")
+    fleet.add_argument("--bandwidth", type=float, default=2.0, help="per-agent uplink demand, paper-scale Mbps")
+    fleet.add_argument("--uplink", choices=("constant", "walk", "markov"), default="constant")
+    fleet.add_argument(
+        "--cell", type=float, default=None, metavar="MBPS",
+        help="shared cell capacity (paper-scale Mbps); omit for independent uplinks",
+    )
+    fleet.add_argument("--cell-policy", choices=("fair", "weighted"), default="fair")
+    fleet.add_argument("--outages", action="store_true", help="bursty outages on the cell capacity trace")
+    fleet.add_argument("--workers", type=int, default=2, help="detector workers at the shared edge")
+    fleet.add_argument("--max-batch", type=int, default=4, help="largest inference batch")
+    fleet.add_argument("--max-wait", type=float, default=0.005, help="batch linger (sim seconds)")
+    fleet.add_argument(
+        "--queue-capacity", type=int, default=None,
+        help="edge admission queue bound; omit for unbounded (no admission control)",
+    )
+    fleet.add_argument("--admission", choices=("reject", "degrade"), default="reject")
+    fleet.add_argument("--deadline", type=float, default=None, help="per-frame deadline (seconds) for late accounting")
+    fleet.add_argument("--detector-seed", type=int, default=7)
+    fleet.add_argument("--agent-workers", type=int, default=1, help="phase-1 thread pool width (wall-clock only)")
+    fleet.add_argument("--format", choices=("text", "json"), default="text")
+    fleet.add_argument("--metrics-out", default=None, metavar="FILE", help="write the metrics JSONL here")
     return parser
 
 
@@ -676,6 +787,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_report(args)
     if args.command == "top":
         return _cmd_top(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     func, _ = _COMMANDS[args.command]
     print(func(args))
     return 0

@@ -6,18 +6,27 @@ multi-agent behaviour.  This study does: N agents stream concurrently to
 one serverless edge fabric with a fixed number of inference workers, and
 the response time per scheme is measured as N grows.
 
-Each agent's uplink is independent (cellular links are per-agent), so the
-per-agent simulations stay valid; only the *inference* stage contends.
-The contention is replayed post-hoc: every edge-inference request from the
-N runs is serialised through a W-worker queue, and response times are
-recomputed.  Schemes that upload (and infer) every frame — DiVE, DDS —
-load the fabric N times harder than the key-frame schemes, which is
-exactly the trade-off worth seeing.
+Since PR 9 the study runs on :class:`~repro.fleet.FleetRunner` — the
+repo's one source of multi-agent truth.  Each scheme's agent pool runs
+its belief phase **once** at the largest N; every requested fleet size is
+then settled as a prefix of that pool against a ``workers``-worker edge
+with ``max_batch=1`` / ``max_wait=0`` (pure FIFO queueing, no batching —
+the shared-fabric contention the study isolates).  Each agent's uplink
+is independent (``cell_mbps=None``: cellular links are per-agent), so
+only the inference stage contends.  Schemes that upload (and infer)
+every frame — DiVE, DDS — load the fabric N times harder than the
+key-frame schemes, which is exactly the trade-off worth seeing.
+
+The old post-hoc heap replay (:func:`replay_shared_server`) is kept for
+compatibility but deprecated: it reconstructs arrivals from recorded
+responses instead of replaying the recorded requests themselves, and
+knows nothing of batching or admission control.
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,9 +34,7 @@ import numpy as np
 from repro.baselines import EAARScheme, O3Scheme
 from repro.baselines.base import SchemeRun
 from repro.core.agent import DiVEScheme
-from repro.experiments.config import ExperimentConfig, dataset_clips, scaled_bandwidth
-from repro.experiments.runner import run_scheme
-from repro.network.trace import constant_trace
+from repro.experiments.config import ExperimentConfig
 
 __all__ = ["ScalabilityResult", "replay_shared_server", "run_scalability"]
 
@@ -54,11 +61,23 @@ def replay_shared_server(
 ) -> float:
     """Mean response time when the runs' edge inferences share W workers.
 
+    .. deprecated::
+        Superseded by :class:`repro.fleet.FleetRunner` (and the
+        fleet-based :func:`run_scalability`), which replays the actual
+        recorded requests with batching and admission control instead of
+        reconstructing arrivals from recorded responses.
+
     Edge-frame arrival times are reconstructed from each frame's recorded
     response (arrival = capture + response - inference - downlink), pooled
     across agents, and served in arrival order by ``workers`` parallel
     workers; locally-served frames keep their original response times.
     """
+    warnings.warn(
+        "replay_shared_server is deprecated; use repro.fleet.FleetRunner "
+        "(run_scalability already does)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     requests: list[tuple[float, int, int]] = []  # (arrival, run_idx, frame_idx)
     for ri, run in enumerate(runs):
         for fi, frame in enumerate(run.frames):
@@ -95,28 +114,55 @@ def run_scalability(
     dataset: str = "nuscenes",
     scheme_factories=(DiVEScheme, EAARScheme, O3Scheme),
 ) -> list[ScalabilityResult]:
-    """Measure response time vs. concurrent agents per scheme."""
+    """Measure response time vs. concurrent agents per scheme.
+
+    Built on :class:`~repro.fleet.FleetRunner`: the agent pool's belief
+    phase runs once at ``max(agent_counts)``, then every fleet size is
+    settled as a prefix of that pool (forked, so settles never interact).
+    """
+    # Imported here, not at module top: repro.fleet composes the
+    # experiments config, so a top-level import would be circular.
+    from repro.fleet import SCHEMES, FleetConfig, FleetRunner
+
     config = config or ExperimentConfig()
     max_agents = max(agent_counts)
-    clips = dataset_clips(dataset, ExperimentConfig(n_clips=max_agents, n_frames=config.n_frames))
+    name_of = {cls: name for name, cls in SCHEMES.items()}
     results: list[ScalabilityResult] = []
     for factory in scheme_factories:
-        runs = []
-        for clip in clips:
-            trace = constant_trace(scaled_bandwidth(bandwidth_mbps, clip))
-            runs.append(
-                run_scheme(factory(), clip, trace, detector_seed=config.detector_seed).run
-            )
+        if factory not in name_of:
+            raise ValueError(
+                f"{factory!r} is not a registered fleet scheme; "
+                f"expected one of {sorted(SCHEMES)}")
+        fleet_config = FleetConfig(
+            n_agents=max_agents,
+            n_frames=config.n_frames,
+            schemes=(name_of[factory],),
+            datasets=(dataset,),
+            seed=0,
+            stagger=0.0,
+            demand_mbps=bandwidth_mbps,
+            uplink="constant",
+            cell_mbps=None,      # cellular links are per-agent
+            workers=workers,
+            max_batch=1,         # pure FIFO queueing: isolate contention
+            max_wait=0.0,
+            queue_capacity=None,
+            detector_seed=config.detector_seed,
+        )
+        runner = FleetRunner(fleet_config)
+        specs = fleet_config.specs()
+        agent_runs = runner.run_agents(specs)
         for n in agent_counts:
-            subset = runs[:n]
-            rt = replay_shared_server(subset, workers=workers)
-            duration = max(r.frames[-1].capture_time for r in subset) + 1e-9
-            n_inferences = sum(1 for r in subset for f in r.frames if f.source == "edge")
+            settled = runner.settle(
+                specs[:n], [ar.fork() for ar in agent_runs[:n]])
+            duration = max(r.frames[-1].capture_time for r in settled.runs) + 1e-9
+            n_inferences = sum(
+                1 for r in settled.runs for f in r.frames if f.source == "edge")
             results.append(
                 ScalabilityResult(
-                    scheme=subset[0].scheme,
+                    scheme=settled.runs[0].scheme,
                     n_agents=n,
-                    response_time=rt,
+                    response_time=settled.stats.mean_response,
                     inference_load=n_inferences / duration,
                 )
             )

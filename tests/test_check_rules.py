@@ -152,6 +152,17 @@ FIXTURES = {
             "        tracer.gauge('qp', 31.0)\n"
         ),
     ),
+    "S016": (
+        "src/repro/fleet/x.py",
+        (
+            "def settle(server, encoded, record, t):\n"
+            "    return server.process(encoded, record, arrival_time=t)\n"
+        ),
+        (
+            "def settle(batcher, requests):\n"
+            "    return batcher.serve(requests)\n"
+        ),
+    ),
     "S014": (
         "src/repro/codec/x.py",
         (

@@ -1,0 +1,372 @@
+"""Tests for the multi-tenant fleet subsystem (repro.fleet).
+
+The load-bearing claims: a single-agent fleet is *bit-identical* to a
+plain streamed run; an N-agent fleet's digest is identical across reruns
+and any thread-pool width (``agent_workers`` / ``stream_workers`` are
+wall-clock knobs, never semantics); the shared cell and the batching
+edge actually change outcomes when contended.
+"""
+
+import json
+
+import pytest
+
+from repro.core import DiVEScheme
+from repro.edge import EdgeServer, QualityAwareDetector
+from repro.experiments import scaled_bandwidth
+from repro.fleet import (
+    BatchingEdgeServer,
+    CellSlice,
+    FleetConfig,
+    FleetRequest,
+    FleetRunner,
+    RecordingEdgeServer,
+    SharedCell,
+    jain_index,
+    quantile,
+    waterfill,
+)
+from repro.network import constant_trace, random_walk_trace
+from repro.stream import StreamConfig, StreamRunner
+from repro.world import nuscenes_like
+
+pytestmark = pytest.mark.timeout(300)
+
+RES = (320, 192)  # quarter-size clips keep the fleets fast
+
+
+def _req(agent, seq, arrival, frame=0):
+    return FleetRequest(agent=agent, seq=seq, frame_index=frame, arrival=arrival)
+
+
+class TestWaterfill:
+    def test_uncontended_grants_verbatim(self):
+        d = [1.25e6, 0.4e6]
+        assert waterfill(d, [1.0, 1.0], 5e6) == d
+
+    def test_contended_splits_capacity(self):
+        alloc = waterfill([3e6, 3e6], [1.0, 1.0], 4e6)
+        assert alloc == [2e6, 2e6]
+
+    def test_small_demand_first_then_level(self):
+        alloc = waterfill([1e6, 9e6], [1.0, 1.0], 4e6)
+        assert alloc[0] == 1e6
+        assert alloc[1] == pytest.approx(3e6)
+
+    def test_weighted_shares(self):
+        alloc = waterfill([9e6, 9e6], [3.0, 1.0], 4e6)
+        assert alloc[0] == pytest.approx(3e6)
+        assert alloc[1] == pytest.approx(1e6)
+
+    def test_zero_capacity(self):
+        assert waterfill([1e6], [1.0], 0.0) == [0.0]
+
+
+class TestSharedCell:
+    def test_identity_fast_path_returns_same_object(self):
+        demand = random_walk_trace(1e6, duration=4.0, seed=3)
+        cell = SharedCell(10e6)
+        [out] = cell.allocate([CellSlice(agent="a", demand=demand, duration=4.0)])
+        assert out is demand
+
+    def test_contended_allocation_caps_sum(self):
+        d1 = constant_trace(3e6)
+        d2 = constant_trace(3e6)
+        cell = SharedCell(4e6)
+        out = cell.allocate([
+            CellSlice(agent="a", demand=d1, duration=4.0),
+            CellSlice(agent="b", demand=d2, duration=4.0),
+        ])
+        assert out[0] is not d1 and out[1] is not d2
+        for t in (0.0, 1.0, 3.9):
+            assert out[0].rate_at(t) + out[1].rate_at(t) <= 4e6 + 1e-6
+
+    def test_stagger_releases_capacity(self):
+        # b joins at t=2: a has the full cell before, half after.
+        a, b = (CellSlice(agent="a", demand=constant_trace(4e6), duration=6.0),
+                CellSlice(agent="b", demand=constant_trace(4e6), start=2.0, duration=4.0))
+        out = SharedCell(4e6).allocate([a, b])
+        assert out[0].rate_at(1.0) == 4e6
+        assert out[0].rate_at(3.0) == pytest.approx(2e6)
+        # b's trace is in *local* time (starts at its own t=0).
+        assert out[1].rate_at(0.5) == pytest.approx(2e6)
+
+    def test_weighted_policy_uses_weights(self):
+        out = SharedCell(4e6, policy="weighted").allocate([
+            CellSlice(agent="a", demand=constant_trace(9e6), duration=4.0, weight=3.0),
+            CellSlice(agent="b", demand=constant_trace(9e6), duration=4.0, weight=1.0),
+        ])
+        assert out[0].rate_at(1.0) == pytest.approx(3e6)
+        assert out[1].rate_at(1.0) == pytest.approx(1e6)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            SharedCell(1e6, policy="lottery")
+
+
+class TestBatchingEdgeServer:
+    def test_single_request_is_unloaded_timing(self):
+        b = BatchingEdgeServer(workers=1, max_batch=4, max_wait=0.0)
+        [out] = b.serve([_req("a", 0, 1.0)])
+        assert out.status == "served"
+        assert out.start_time == 1.0
+        assert out.finish_time == 1.0 + b.inference_latency
+        assert out.result_time == out.finish_time + b.downlink_latency
+
+    def test_fifo_single_worker_queueing(self):
+        b = BatchingEdgeServer(workers=1, max_batch=1)
+        outs = b.serve([_req("a", 0, 0.0), _req("b", 0, 0.001)])
+        assert outs[0].start_time == 0.0
+        assert outs[1].start_time == pytest.approx(b.inference_latency)
+
+    def test_full_batch_dispatches_at_fill_instant(self):
+        b = BatchingEdgeServer(workers=1, max_batch=2, max_wait=1.0)
+        outs = b.serve([_req("a", 0, 0.0), _req("b", 0, 0.004)])
+        assert [o.batch_id for o in outs] == [0, 0]
+        # Dispatch can't precede the arrival that filled the batch.
+        assert outs[0].start_time == 0.004
+
+    def test_max_wait_fires_before_batch_full(self):
+        b = BatchingEdgeServer(workers=1, max_batch=4, max_wait=0.002)
+        outs = b.serve([_req("a", 0, 0.0), _req("b", 0, 0.1)])
+        assert outs[0].start_time == pytest.approx(0.002)
+        assert outs[0].batch_size == 1
+
+    def test_batch_amortises_cost(self):
+        b = BatchingEdgeServer(workers=1, max_batch=4, max_wait=0.01, batch_overhead=0.25)
+        outs = b.serve([_req("a", 0, 0.0), _req("b", 0, 0.0), _req("c", 0, 0.0)])
+        assert {o.batch_size for o in outs} == {3}
+        span = outs[0].finish_time - outs[0].start_time
+        # (1-a)*max + a*sum = 0.75*1 + 0.25*3 = 1.5 units, < 3 sequential.
+        assert span == pytest.approx(b.inference_latency * 1.5)
+
+    def test_bounded_queue_rejects(self):
+        b = BatchingEdgeServer(workers=1, max_batch=1, queue_capacity=1)
+        outs = b.serve([_req("a", 0, 0.0), _req("b", 0, 0.001), _req("c", 0, 0.002)])
+        by = {o.agent: o for o in outs}
+        assert by["c"].status == "rejected"
+        assert by["c"].result_time == float("inf")
+        assert by["a"].status == by["b"].status == "served"
+
+    def test_degrade_admission_serves_cheaper(self):
+        b = BatchingEdgeServer(workers=1, max_batch=1, queue_capacity=1,
+                               admission="degrade", degrade_factor=0.5)
+        outs = b.serve([_req("a", 0, 0.0), _req("b", 0, 0.001), _req("c", 0, 0.002)])
+        by = {o.agent: o for o in outs}
+        assert by["c"].status == "degraded"
+        assert (by["c"].finish_time - by["c"].start_time
+                == pytest.approx(b.inference_latency * 0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            BatchingEdgeServer(workers=0)
+        with pytest.raises(ValueError, match="admission"):
+            BatchingEdgeServer(admission="shrug")
+        with pytest.raises(ValueError, match="queue_capacity"):
+            BatchingEdgeServer(queue_capacity=0)
+
+
+class TestRecordingEdgeServer:
+    def test_records_without_perturbing(self):
+        clip = nuscenes_like(0, n_frames=4, resolution=RES)
+        trace = constant_trace(scaled_bandwidth(2.0, clip))
+        plain = StreamRunner(DiVEScheme(), StreamConfig()).run(
+            clip, trace, EdgeServer(QualityAwareDetector(seed=7)))
+        recording = RecordingEdgeServer(EdgeServer(QualityAwareDetector(seed=7)))
+        wrapped = StreamRunner(DiVEScheme(), StreamConfig()).run(clip, trace, recording)
+        assert wrapped.stats.digest() == plain.stats.digest()
+        assert len(recording.calls) > 0
+        assert [c.seq for c in recording.calls] == list(range(len(recording.calls)))
+
+
+class TestFleetStatsHelpers:
+    def test_quantile_nearest_rank(self):
+        vals = [4.0, 1.0, 3.0, 2.0]
+        assert quantile(vals, 0.5) == 2.0
+        assert quantile(vals, 1.0) == 4.0
+        assert quantile([], 0.5) == float("inf")
+
+    def test_jain_bounds(self):
+        assert jain_index([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+        assert jain_index([]) == 1.0
+
+
+@pytest.fixture(scope="module")
+def small_fleet_result():
+    config = FleetConfig(
+        n_agents=3, n_frames=6, schemes=("dive", "eaar"), resolution=RES,
+        stagger=0.03, cell_mbps=3.0, workers=2, max_batch=4, max_wait=0.005,
+        queue_capacity=8,
+    )
+    return FleetRunner(config).run()
+
+
+class TestFleetRunner:
+    @pytest.mark.timeout(600)
+    def test_single_agent_fleet_matches_plain_stream(self):
+        """The headline equivalence: one agent, enough edge workers that
+        nothing queues — the fleet reproduces the plain streamed run
+        bit-for-bit (frames, detections, stream digest)."""
+        config = FleetConfig(
+            n_agents=1, n_frames=10, schemes=("dive",), resolution=RES,
+            stagger=0.0, demand_mbps=2.0, cell_mbps=None,
+            workers=4, max_batch=4, max_wait=0.0,
+        )
+        fleet = FleetRunner(config).run()
+
+        clip = nuscenes_like(0, n_frames=10, resolution=RES)
+        trace = constant_trace(scaled_bandwidth(2.0, clip))
+        plain = StreamRunner(DiVEScheme(), StreamConfig()).run(
+            clip, trace, EdgeServer(QualityAwareDetector(seed=7)))
+
+        assert fleet.reports[0].stream_digest == plain.stats.digest()
+        assert len(fleet.runs[0].frames) == len(plain.run.frames)
+        for a, b in zip(fleet.runs[0].frames, plain.run.frames):
+            assert (a.index, a.capture_time, a.response_time, a.bytes_sent,
+                    a.source, a.dropped) == (
+                b.index, b.capture_time, b.response_time, b.bytes_sent,
+                b.source, b.dropped)
+            assert [(d.object_id, d.kind, d.bbox) for d in a.detections] == [
+                (d.object_id, d.kind, d.bbox) for d in b.detections]
+
+    def test_digest_stable_across_reruns_and_workers(self, small_fleet_result):
+        from dataclasses import replace
+
+        base = small_fleet_result
+        rerun = FleetRunner(base.config).run()
+        assert rerun.digest() == base.digest()
+        wide = FleetRunner(replace(base.config, agent_workers=4)).run()
+        assert wide.digest() == base.digest()
+
+    def test_reports_cover_every_agent(self, small_fleet_result):
+        res = small_fleet_result
+        assert [r.agent for r in res.reports] == ["a000", "a001", "a002"]
+        assert {r.scheme for r in res.reports} == {"DiVE", "EAAR"}
+        assert res.stats.agents == 3
+        assert res.stats.frames == 18
+        assert res.stats.requests == res.stats.served + res.stats.degraded + res.stats.rejected
+        assert 0.0 < res.stats.jain_accuracy <= 1.0
+
+    def test_tight_admission_creates_stale_frames(self):
+        config = FleetConfig(
+            n_agents=4, n_frames=6, schemes=("dive",), resolution=RES,
+            stagger=0.0, workers=1, max_batch=1, queue_capacity=1,
+            admission="reject",
+        )
+        res = FleetRunner(config).run()
+        assert res.stats.rejected > 0
+        assert res.stats.stale_frames > 0
+        assert res.stats.reject_rate > 0.0
+        stale = [f for run in res.runs for f in run.frames if f.source == "stale"]
+        assert stale and all(f.response_time == float("inf") for f in stale)
+
+    def test_degrade_admission_avoids_staleness(self):
+        config = FleetConfig(
+            n_agents=4, n_frames=6, schemes=("dive",), resolution=RES,
+            stagger=0.0, workers=1, max_batch=1, queue_capacity=1,
+            admission="degrade",
+        )
+        res = FleetRunner(config).run()
+        assert res.stats.degraded > 0
+        assert res.stats.rejected == 0
+        assert res.stats.stale_frames == 0
+
+    def test_contention_raises_response_over_solo(self):
+        solo = FleetConfig(n_agents=1, n_frames=6, schemes=("dive",),
+                           resolution=RES, workers=1, max_batch=1)
+        crowd = FleetConfig(n_agents=4, n_frames=6, schemes=("dive",),
+                            resolution=RES, stagger=0.0, workers=1, max_batch=1)
+        rt_solo = FleetRunner(solo).run().stats.mean_response
+        rt_crowd = FleetRunner(crowd).run().stats.mean_response
+        assert rt_crowd > rt_solo
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="n_agents"):
+            FleetConfig(n_agents=0).validate()
+        with pytest.raises(ValueError, match="scheme"):
+            FleetConfig(schemes=("warp",)).validate()
+        with pytest.raises(ValueError, match="dataset"):
+            FleetConfig(datasets=("cityscapes",)).validate()
+        with pytest.raises(ValueError, match="admission"):
+            FleetConfig(admission="maybe").validate()
+
+    def test_specs_round_robin(self):
+        specs = FleetConfig(n_agents=5, schemes=("dive", "o3"),
+                            datasets=("nuscenes", "kitti"), stagger=0.1).specs()
+        assert [s.scheme for s in specs] == ["dive", "o3", "dive", "o3", "dive"]
+        assert [s.dataset for s in specs] == [
+            "nuscenes", "kitti", "nuscenes", "kitti", "nuscenes"]
+        assert [s.clip_seed for s in specs] == [0, 1, 2, 3, 4]
+        assert specs[4].start == pytest.approx(0.4)
+
+
+class TestFleetMetrics:
+    def test_agent_labels_in_registry(self, small_fleet_result):
+        from repro.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        FleetRunner(small_fleet_result.config, metrics=registry).run()
+        snap = registry.snapshot()
+        by_name = {inst["name"]: inst for inst in snap["instruments"]}
+        assert "fleet_response_seconds" in by_name
+        agents = {s["labels"].get("agent")
+                  for s in by_name["fleet_response_seconds"]["series"]
+                  if s["windows"]}
+        assert agents == {"a000", "a001", "a002"}
+
+    def test_metrics_do_not_perturb_results(self, small_fleet_result):
+        from repro.metrics import MetricsRegistry
+
+        with_metrics = FleetRunner(
+            small_fleet_result.config, metrics=MetricsRegistry()).run()
+        assert with_metrics.digest() == small_fleet_result.digest()
+
+
+class TestFleetCLI:
+    def test_fleet_command_table(self, capsys):
+        from repro.cli import main
+
+        rc = main(["fleet", "--agents", "2", "--frames", "4",
+                   "--schemes", "dive,eaar", "--max-wait", "0.005"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "a000" in out and "a001" in out
+        assert "fleet digest" in out
+
+    def test_fleet_command_json_and_metrics_out(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "fleet.jsonl"
+        rc = main(["fleet", "--agents", "2", "--frames", "4",
+                   "--schemes", "dive,eaar", "--format", "json",
+                   "--metrics-out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out[:out.rindex("}") + 1])
+        assert doc["summary"]["agents"] == 2
+        assert len(doc["agents"]) == 2
+        assert out_path.exists()
+        first = json.loads(out_path.read_text().splitlines()[0])
+        assert first["meta"]["agents"] == 2
+
+
+class TestScalabilityRewrite:
+    def test_run_scalability_shapes_and_monotonic(self):
+        from repro.experiments import run_scalability
+        from repro.experiments.config import ExperimentConfig
+
+        rows = run_scalability(
+            ExperimentConfig(n_frames=6), agent_counts=(1, 4), workers=1,
+            scheme_factories=(DiVEScheme,))
+        by = {(r.scheme, r.n_agents): r for r in rows}
+        assert set(by) == {("DiVE", 1), ("DiVE", 4)}
+        assert by[("DiVE", 4)].response_time >= by[("DiVE", 1)].response_time - 1e-9
+        assert by[("DiVE", 4)].inference_load > by[("DiVE", 1)].inference_load
+
+    def test_replay_shared_server_deprecated(self):
+        from repro.baselines.base import SchemeRun
+        from repro.experiments import replay_shared_server
+
+        with pytest.deprecated_call():
+            replay_shared_server([SchemeRun(scheme="x", clip_name="c")])
