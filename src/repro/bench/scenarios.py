@@ -263,6 +263,38 @@ for _scheme in ("dive", "dds", "eaar", "o3"):
     benchmark(f"pipeline/{_scheme}", suite="macro", group="pipeline")(partial(_build_pipeline, _scheme))
 
 
+def _build_pipeline_backend(backend_name: str, scale: BenchScale) -> BenchCase:
+    """The DiVE pipeline with a non-reference kernel backend active.
+
+    Wraps the plain ``pipeline/dive`` case's ``fn`` in
+    :func:`repro.kernels.use_backend`, so the measured work (and the
+    regression-gated trace counters) are identical by the bit-exactness
+    contract — only wall-clock may differ.  On hosts where the backend is
+    unavailable (no fork, no C compiler) the case runs on the reference
+    instead of failing the whole suite: the bit-exactness tests, not the
+    bench harness, are the availability gate.
+    """
+    from repro import kernels
+
+    case = _build_pipeline("dive", scale)
+    plain_fn = case.fn
+
+    def fn() -> object:
+        if kernels.backend(backend_name).available():
+            with kernels.use_backend(backend_name):
+                return plain_fn()
+        return plain_fn()
+
+    case.fn = fn
+    return case
+
+
+for _backend in ("sharded", "cext"):
+    benchmark(f"pipeline/dive_{_backend}", suite="macro", group="pipeline")(
+        partial(_build_pipeline_backend, _backend)
+    )
+
+
 def _build_stream(scale: BenchScale, *, telemetry: bool = False) -> BenchCase:
     """DiVE through the pipelined streaming runtime under backpressure.
 

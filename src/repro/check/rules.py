@@ -43,6 +43,13 @@ S016 direct-edge-call-in-fleet error ``EdgeServer.process*`` called from
                                      front-end (the belief-side recording
                                      wrapper in ``fleet/batch.py`` is the
                                      one exemption)
+S017 kernel-registry-bypass  error   extracted kernel internals (``
+                                     _exhaustive_search``, ``_descend*``,
+                                     ``_*_reference`` ...) called from
+                                     library code outside ``codec/`` /
+                                     ``kernels/`` — go through the public
+                                     wrappers so ``repro.kernels`` backend
+                                     dispatch applies
 ==== ====================== ======== =======================================
 
 The semantic rules live in their own modules (they reason over the whole
@@ -64,6 +71,7 @@ __all__ = [
     "BitsBytesMixRule",
     "DirectEdgeCallInFleetRule",
     "DtypeLessAllocRule",
+    "KernelBypassRule",
     "LoopConstantAllocRule",
     "MetricInLoopRule",
     "MutableDefaultRule",
@@ -525,6 +533,60 @@ class DirectEdgeCallInFleetRule(Rule):
             f"{name}() from fleet code skips the batching front-end; "
             "pool the request through BatchingEdgeServer.serve instead"
         )
+
+
+@register
+class KernelBypassRule(Rule):
+    id = "S017"
+    name = "kernel-registry-bypass"
+    severity = "error"
+    description = (
+        "library code calling an extracted kernel internal "
+        "(_exhaustive_search, _descend*, _BlockSadEvaluator, the "
+        "_*_reference bodies) directly skips the repro.kernels backend "
+        "dispatch: the call silently runs the reference even when an "
+        "accelerated backend is active, and band/worker invariants the "
+        "public wrappers maintain no longer hold.  Call estimate_motion/"
+        "motion_compensate/dct_blocks/quantize/dequantize instead."
+    )
+    scope = ("repro",)
+    node_types = (ast.Call,)
+
+    #: The dispatch-site internals: the banded reference bodies and the
+    #: evaluator the sweeps run on.  Only ``codec/`` (the dispatch sites),
+    #: ``kernels/`` (the backends) and tests may touch them.
+    _INTERNALS = frozenset(
+        {
+            "_exhaustive_search",
+            "_exact_sad_scan",
+            "_pattern_search",
+            "_descend",
+            "_descend_reference",
+            "_BlockSadEvaluator",
+            "_motion_compensate_reference",
+            "_dct_blocks_reference",
+            "_quantize_reference",
+            "_dequantize_reference",
+        }
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not super().applies_to(ctx):
+            return False
+        # The dispatch sites and the backends are the two legitimate
+        # callers; everywhere else in the library must use the wrappers.
+        return "codec" not in ctx.parts and "kernels" not in ctx.parts
+
+    def check(self, node: ast.AST, ctx: ModuleContext) -> Iterator[tuple[ast.AST, str]]:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        tail = name.split(".")[-1]
+        if tail in self._INTERNALS:
+            yield node, (
+                f"{name}() bypasses the repro.kernels registry; use the "
+                "public kernel wrapper so the active backend dispatches"
+            )
 
 
 @register

@@ -50,6 +50,18 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
     return ExperimentConfig(n_clips=args.clips, n_frames=args.frames, detector_seed=args.detector_seed)
 
 
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend", default="numpy", metavar="NAME",
+        help="kernel backend for the codec hot loops (repro.kernels): "
+             "numpy (reference), sharded, cext, numba — all bit-identical",
+    )
+    p.add_argument(
+        "--kernel-workers", type=int, default=2,
+        help="worker processes for `--backend sharded` (others ignore it)",
+    )
+
+
 def _cmd_demo(args: argparse.Namespace) -> str:
     from repro.check import ArraySanitizer, LockOrderSanitizer
     from repro.core import DiVEScheme
@@ -297,6 +309,45 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _bench_compare_backends(args: argparse.Namespace) -> int:
+    """Time the pipeline benchmarks under every kernel backend.
+
+    One table row per (benchmark, backend): median wall time, frames/s and
+    the speedup over the ``numpy`` reference.  Unavailable backends get a
+    row stating why instead of silently vanishing.  Outputs are
+    bit-identical across backends by contract, so the table is purely a
+    performance comparison.
+    """
+    from repro import kernels
+    from repro.bench import run_suite
+
+    names = args.only or ["pipeline/dive"]
+    rows = []
+    base_median: dict[str, float] = {}
+    for backend_name in kernels.registered_backends():
+        inst = kernels.backend(backend_name)
+        if not inst.available():
+            reason = inst.why_unavailable() or "unavailable"
+            rows.append(["-", backend_name, "-", "-", reason])
+            continue
+        with kernels.use_backend(backend_name, workers=args.kernel_workers):
+            doc = run_suite("macro", names=names)
+        for entry in doc["benchmarks"]:
+            median = entry["timing_s"]["median"]
+            fps = entry["throughput"].get("frames_per_s", 0.0)
+            if backend_name == "numpy":
+                base_median[entry["name"]] = median
+            base = base_median.get(entry["name"])
+            speedup = f"{base / median:.2f}x" if base and median > 0 else "-"
+            rows.append([entry["name"], backend_name, f"{median:.3f}", f"{fps:.2f}", speedup])
+    print(format_table(
+        ["benchmark", "backend", "median s", "frames/s", "vs numpy"],
+        rows,
+        title="kernel backends — bit-identical outputs, wall-clock only",
+    ))
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run (or load) a benchmark suite; optionally compare against a baseline."""
     from repro.bench import (
@@ -312,6 +363,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_doc,
     )
 
+    if args.compare_backends:
+        return _bench_compare_backends(args)
     tolerances: dict[str, float] = {}
     for spec in args.tolerance or []:
         kind, sep, value = spec.partition("=")
@@ -647,6 +700,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "--deadline", type=float, default=None,
                 help="per-frame deadline in seconds (capture -> result) for late accounting",
             )
+            _add_backend_args(p)
         if name == "trace":
             p.add_argument("--scheme", choices=("dive", "dds", "eaar", "o3"), default="dive")
             p.add_argument("--output", default="trace.jsonl", help="JSONL trace output path")
@@ -694,6 +748,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--format", choices=("text", "json"), default="text")
     bench.add_argument("--only", action="append", default=None, metavar="NAME", help="run only this benchmark (repeatable)")
     bench.add_argument("--list", action="store_true", help="list registered benchmarks and exit")
+    bench.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help="time the pipeline benchmarks under every available kernel backend "
+             "and print a speedup table (honours --only)",
+    )
+    _add_backend_args(bench)
     report = sub.add_parser(
         "report",
         help="Unified run report joining a BENCH_*.json, a repro-trace JSONL and a metrics JSONL",
@@ -774,11 +835,24 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--agent-workers", type=int, default=1, help="phase-1 thread pool width (wall-clock only)")
     fleet.add_argument("--format", choices=("text", "json"), default="text")
     fleet.add_argument("--metrics-out", default=None, metavar="FILE", help="write the metrics JSONL here")
+    _add_backend_args(fleet)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "backend", "numpy") != "numpy" and not getattr(
+        args, "compare_backends", False
+    ):
+        # Activate here, on the driver thread, before any command spawns
+        # stream/fleet workers (repro.kernels pool-ownership rule).
+        from repro import kernels
+
+        try:
+            kernels.activate(args.backend, workers=getattr(args, "kernel_workers", None))
+        except (ValueError, RuntimeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.command == "lint":
         return _cmd_lint(args)
     if args.command == "bench":

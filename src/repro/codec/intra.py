@@ -11,6 +11,18 @@ access to the source frame.
 The block scan is raster order; for each block the predictor is chosen by
 SAD against the source, the residual is transform-coded, and the block is
 reconstructed before its successors are visited.
+
+Implementation note: the raster scan's true dependency structure is a
+wavefront — block ``(r, c)`` needs only the reconstructions of ``(r, c-1)``
+(its left column) and ``(r-1, c)`` (its top row), both of which lie on the
+previous anti-diagonal ``r + c - 1``.  The encoder therefore processes one
+anti-diagonal at a time: predictions and SAD mode selection are evaluated
+per block (borders keep their H.264 fallbacks), while the DCT, quantiser,
+bit model and inverse transform run once per diagonal on a concatenated
+block plane.  Every per-block value is bit-identical to the sequential
+scan: the batched DCT transforms each 8-point line independently, the
+quantiser divides by the same per-block scalar step, and the bit totals are
+sums of exact multiples of 0.25 (order-free in float64).
 """
 
 from __future__ import annotations
@@ -95,29 +107,48 @@ def intra_encode(
     bits_per_mb = np.zeros((rows, cols), dtype=np.float64)
     sub = block // 8
     levels_full = np.zeros((rows * sub, 8, cols * sub, 8), dtype=np.float64)
-    for r in range(rows):
-        for c in range(cols):
+    preds = np.empty((3, block, block), dtype=np.float64)
+    for rs, cs in _wavefront(rows, cols):
+        m = rs.size
+        best_preds = np.empty((m, block, block), dtype=np.float64)
+        residual = np.empty((m, block, block), dtype=np.float64)
+        for k in range(m):
+            r, c = int(rs[k]), int(cs[k])
             r0, c0 = r * block, c * block
             src = frame[r0 : r0 + block, c0 : c0 + block]
-            best_mode, best_pred, best_sad = MODE_DC, None, np.inf
+            best_mode, best_sad = MODE_DC, np.inf
             for mode in (MODE_DC, MODE_HORIZONTAL, MODE_VERTICAL):
-                pred = intra_predict_block(recon, r0, c0, block, mode)
-                sad = float(np.abs(src - pred).sum())
+                preds[mode] = intra_predict_block(recon, r0, c0, block, mode)
+                sad = float(np.abs(src - preds[mode]).sum())
                 if sad < best_sad:
-                    best_mode, best_pred, best_sad = mode, pred, sad
-            residual = src - best_pred
-            coeffs = dct_blocks(residual)
-            # One macroblock has a single QP, so the quantiser step is a
-            # scalar: dividing by it is IEEE-identical to quantize()'s
-            # broadcast against an expanded per-8x8 step map, at a fraction
-            # of the per-block overhead.
-            q = qstep(float(qp_map[r, c]))
-            levels = np.round(coeffs / q)
-            levels_full[r * sub : (r + 1) * sub, :, c * sub : (c + 1) * sub, :] = levels
-            bits_per_mb[r, c] = float(transform_cost_bits(levels, mb_size=8).sum()) + _MODE_BITS
-            rec_res = idct_blocks(levels * q)
-            recon[r0 : r0 + block, c0 : c0 + block] = np.clip(best_pred + rec_res, 0.0, 255.0)
+                    best_mode, best_sad = mode, sad
             modes[r, c] = best_mode
+            best_preds[k] = preds[best_mode]
+            np.subtract(src, best_preds[k], out=residual[k])
+        # One DCT/quantise/bit-count/inverse pass for the whole diagonal:
+        # blocks are laid side by side in a (block, m*block) plane, so each
+        # 8-point transform line, scalar-step division and per-8x8 bit cost
+        # is the same computation the per-block loop performed.
+        plane = residual.transpose(1, 0, 2).reshape(block, m * block)
+        coeffs = dct_blocks(plane)
+        # One macroblock has a single QP, so the quantiser step is a
+        # scalar per block: dividing by the broadcast column of that scalar
+        # is IEEE-identical to quantize()'s expanded per-8x8 step map.
+        q = qstep(qp_map[rs, cs])
+        qcol = np.repeat(q, sub)
+        levels = np.round(coeffs / qcol[None, None, :, None])
+        diag_bits = transform_cost_bits(levels, mb_size=block)[0]
+        rec_plane = idct_blocks(levels * qcol[None, None, :, None])
+        bits_per_mb[rs, cs] = diag_bits + _MODE_BITS
+        for k in range(m):
+            r, c = int(rs[k]), int(cs[k])
+            r0, c0 = r * block, c * block
+            levels_full[r * sub : (r + 1) * sub, :, c * sub : (c + 1) * sub, :] = levels[
+                :, :, k * sub : (k + 1) * sub, :
+            ]
+            recon[r0 : r0 + block, c0 : c0 + block] = np.clip(
+                best_preds[k] + rec_plane[:, k * block : (k + 1) * block], 0.0, 255.0
+            )
     return levels_full, modes, recon, bits_per_mb
 
 
@@ -138,13 +169,36 @@ def intra_decode(
     sub = block // 8
     qp_map = np.asarray(qp_map, dtype=float)
     recon = np.zeros((rows * block, cols * block), dtype=np.float64)
-    for r in range(rows):
-        for c in range(cols):
+    for rs, cs in _wavefront(rows, cols):
+        m = rs.size
+        preds = np.empty((m, block, block), dtype=np.float64)
+        diag_levels = np.empty((sub, 8, m * sub, 8), dtype=np.float64)
+        for k in range(m):
+            r, c = int(rs[k]), int(cs[k])
+            preds[k] = intra_predict_block(recon, r * block, c * block, block, int(modes[r, c]))
+            diag_levels[:, :, k * sub : (k + 1) * sub, :] = levels[
+                r * sub : (r + 1) * sub, :, c * sub : (c + 1) * sub, :
+            ]
+        # Scalar dequantise per block — same step value quantize/dequantize
+        # would broadcast (see intra_encode) — batched over the diagonal.
+        qcol = np.repeat(qstep(qp_map[rs, cs]), sub)
+        rec_plane = idct_blocks(diag_levels * qcol[None, None, :, None])
+        for k in range(m):
+            r, c = int(rs[k]), int(cs[k])
             r0, c0 = r * block, c * block
-            pred = intra_predict_block(recon, r0, c0, block, int(modes[r, c]))
-            lv = levels[r * sub : (r + 1) * sub, :, c * sub : (c + 1) * sub, :]
-            # Scalar dequantise — same step value quantize/dequantize would
-            # broadcast, see intra_encode.
-            rec_res = idct_blocks(lv * qstep(float(qp_map[r, c])))
-            recon[r0 : r0 + block, c0 : c0 + block] = np.clip(pred + rec_res, 0.0, 255.0)
+            recon[r0 : r0 + block, c0 : c0 + block] = np.clip(
+                preds[k] + rec_plane[:, k * block : (k + 1) * block], 0.0, 255.0
+            )
     return recon
+
+
+def _wavefront(rows: int, cols: int):
+    """Anti-diagonals of the macroblock grid, in raster-dependency order.
+
+    Yields ``(rs, cs)`` index arrays; every block on a diagonal depends
+    only on blocks of earlier diagonals (left and top neighbours), so the
+    blocks of one diagonal can be transform-coded together.
+    """
+    for d in range(rows + cols - 1):
+        rs = np.arange(max(0, d - cols + 1), min(rows, d + 1))
+        yield rs, d - rs

@@ -39,9 +39,10 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
+from repro import kernels
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
-from repro.utils.integral import block_reduce_sum, shifted_window
 
 __all__ = ["ME_METHODS", "MotionEstimate", "estimate_motion", "motion_compensate", "nonzero_mv_ratio"]
 
@@ -105,7 +106,15 @@ class _BlockSadEvaluator:
     so SAD values are bit-exact either way.
     """
 
-    def __init__(self, current: np.ndarray, reference: np.ndarray, search_range: int, block: int):
+    def __init__(
+        self,
+        current: np.ndarray,
+        reference: np.ndarray,
+        search_range: int,
+        block: int,
+        *,
+        row0: int = 0,
+    ):
         self.block = block
         self.pad = search_range + 2  # +2 headroom for subpel neighbours
         self.search_range = search_range
@@ -118,62 +127,57 @@ class _BlockSadEvaluator:
         self.cur_blocks = (
             cur.reshape(self.rows, block, self.cols, block).transpose(0, 2, 1, 3).reshape(self.n, block, block)
         )
-        by = (np.arange(self.rows) * block).repeat(self.cols)
+        # ``row0`` supports row-band sharding: ``current`` may be a band of
+        # a taller frame whose first macroblock row is ``row0``, while
+        # ``reference`` is always the full frame.
+        by = ((row0 + np.arange(self.rows)) * block).repeat(self.cols)
         bx = np.tile(np.arange(self.cols) * block, self.rows)
         self.by = by
         self.bx = bx
         self._arange = np.arange(block)
-        # Flat-gather machinery: ref_pad raveled, per-block flat base index
-        # at zero displacement, and the in-block offset tile.  A per-block
-        # displacement (dx, dy) is then one scalar offset -dy*wp - dx.
-        wp = self.ref_pad.shape[1]
-        self._wp = wp
-        self._ref_flat = self.ref_pad.ravel()
-        self._cur_flat = self.cur_blocks.reshape(self.n, block * block)
-        self._tile = (self._arange[:, None] * wp + self._arange[None, :]).ravel()
-        self._base0 = (by + self.pad) * wp + (bx + self.pad)
-        self._idx_buf = np.empty((self.n, block * block), dtype=np.int64)
-        self._diff_buf = np.empty((self.n, block * block), dtype=np.float64)
-        self._diff_buf3 = self._diff_buf.reshape(self.n, block, block)
-        self._cur_buf = np.empty_like(self._diff_buf)
-        #: Last subset whose current-frame blocks were gathered into
-        #: ``_cur_buf``.  The pattern searches evaluate many displacements
-        #: against one unchanged active set, so keying the gather on array
-        #: identity (the reference we hold keeps the id stable) skips the
-        #: copy on every call but the first.  Callers must not mutate a
-        #: subset index array in place between calls.
+        # Gather machinery: every aligned block-sized window of the padded
+        # reference as a zero-copy strided view.  The window at
+        # ``(pad + by - dy, pad + bx - dx)`` holds exactly the pixels the
+        # flat ``np.take`` gather used to copy, so one advanced index on the
+        # view is the whole reference-block fetch.
+        self._windows = sliding_window_view(self.ref_pad, (block, block))
+        self._diff_buf3 = np.empty((self.n, block, block), dtype=np.float64)
+        self._cur_buf3 = np.empty_like(self._diff_buf3)
+        self._by_buf = np.empty(self.n, dtype=np.int64)
+        self._bx_buf = np.empty(self.n, dtype=np.int64)
+        #: Last subset whose current-frame blocks (and block origins) were
+        #: gathered into the subset buffers.  The pattern searches evaluate
+        #: many displacements against one unchanged active set, so keying
+        #: the gather on array identity (the reference we hold keeps the id
+        #: stable) skips the copy on every call but the first.  Callers must
+        #: not mutate a subset index array in place between calls.
         self._subset_idx: np.ndarray | None = None
 
     def gather(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """Reference blocks for integer per-block displacements, ``(n, b, b)``."""
-        start = self._base0 - dy * self._wp - dx
-        idx = start[:, None] + self._tile[None, :]
-        return np.take(self._ref_flat, idx).reshape(self.n, self.block, self.block)
+        return self._windows[self.pad + self.by - dy, self.pad + self.bx - dx]
 
     def sad_int(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """SAD of every block at its own integer displacement."""
-        start = self._base0 - dy * self._wp - dx
-        np.add(start[:, None], self._tile[None, :], out=self._idx_buf)
-        np.take(self._ref_flat, self._idx_buf, out=self._diff_buf)
-        np.subtract(self._cur_flat, self._diff_buf, out=self._diff_buf)
-        np.abs(self._diff_buf, out=self._diff_buf)
+        ref = self._windows[self.pad + self.by - dy, self.pad + self.bx - dx]
+        np.subtract(self.cur_blocks, ref, out=self._diff_buf3)
+        np.abs(self._diff_buf3, out=self._diff_buf3)
         return self._diff_buf3.sum(axis=(1, 2))
 
     def sad_int_subset(self, idx: np.ndarray, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """SAD for a subset of blocks (``idx`` flat indices)."""
         m = idx.shape[0]
-        start = self._base0[idx] - dy * self._wp - dx
-        gidx = self._idx_buf[:m]
-        np.add(start[:, None], self._tile[None, :], out=gidx)
-        diff = self._diff_buf[:m]
-        np.take(self._ref_flat, gidx, out=diff)
-        cur = self._cur_buf[:m]
+        cur = self._cur_buf3[:m]
         if idx is not self._subset_idx:
-            np.take(self._cur_flat, idx, axis=0, out=cur)
+            np.take(self.cur_blocks, idx, axis=0, out=cur)
+            np.take(self.by, idx, out=self._by_buf[:m])
+            np.take(self.bx, idx, out=self._bx_buf[:m])
             self._subset_idx = idx
-        np.subtract(cur, diff, out=diff)
+        ref = self._windows[self.pad + self._by_buf[:m] - dy, self.pad + self._bx_buf[:m] - dx]
+        diff = self._diff_buf3[:m]
+        np.subtract(cur, ref, out=diff)
         np.abs(diff, out=diff)
-        return self._diff_buf3[:m].sum(axis=(1, 2))
+        return diff.sum(axis=(1, 2))
 
     def sad_frac(self, dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
         """SAD at fractional displacements (bilinear-interpolated reference)."""
@@ -216,6 +220,27 @@ def _descend(
     *,
     max_iter: int = 16,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pattern descent — dispatches to the active kernel backend."""
+    impl = kernels.override("descend_sweep")
+    if impl is not None:
+        return impl(ev, pattern, dx, dy, cost, pred_x, pred_y, lambda_mv, max_iter=max_iter)
+    return _descend_reference(
+        ev, pattern, dx, dy, cost, pred_x, pred_y, lambda_mv, max_iter=max_iter
+    )
+
+
+def _descend_reference(
+    ev: _BlockSadEvaluator,
+    pattern: tuple[tuple[int, int], ...],
+    dx: np.ndarray,
+    dy: np.ndarray,
+    cost: np.ndarray,
+    pred_x: np.ndarray,
+    pred_y: np.ndarray,
+    lambda_mv: float,
+    *,
+    max_iter: int = 16,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Move every block's pattern until no block improves.
 
     Keeps an *active set*: once a block fails to improve through a full
@@ -228,12 +253,23 @@ def _descend(
         if active.size == 0:
             break
         improved_mask = np.zeros(active.size, dtype=bool)
+        # Per-offset work below only depends on the active set through
+        # these gathers, so they are hoisted out of the pattern loop (the
+        # per-block values are unchanged across offsets — bit-identical).
+        px = pred_x[active]
+        py = pred_y[active]
         for ox, oy in pattern:
             cx = dx[active] + ox
             cy = dy[active] + oy
             valid = (np.abs(cx) <= rng) & (np.abs(cy) <= rng)
-            sad = ev.sad_int_subset(active, np.clip(cx, -rng, rng), np.clip(cy, -rng, rng))
-            cand = sad + lambda_mv * _mv_bits_vec(cx, cy, pred_x[active], pred_y[active])
+            # minimum(maximum(...)) is np.clip's own definition — same
+            # values without the dispatch overhead of the clip wrapper.
+            sad = ev.sad_int_subset(
+                active,
+                np.minimum(np.maximum(cx, -rng), rng),
+                np.minimum(np.maximum(cy, -rng), rng),
+            )
+            cand = sad + lambda_mv * _mv_bits_vec(cx, cy, px, py)
             cand[~valid] = np.inf
             better = cand < cost[active] - 1e-9
             if better.any():
@@ -361,10 +397,12 @@ def _pattern_search(
         need = np.flatnonzero(cost > 2.0 * block * block)
         if need.size:
             steps = [s for s in range(-search_range, search_range + 1, max(search_range // 2, 4))]
-            for ox in steps:
-                for oy in steps:
-                    if (ox, oy) == (0, 0):
-                        continue
+            grid = [(ox, oy) for ox in steps for oy in steps if (ox, oy) != (0, 0)]
+            seed_impl = kernels.override("seed_sweep")
+            if seed_impl is not None:
+                seed_impl(ev, need, grid, dx, dy, cost, lambda_mv)
+            else:
+                for ox, oy in grid:
                     cdx = np.full(need.size, ox, dtype=np.int64)
                     cdy = np.full(need.size, oy, dtype=np.int64)
                     sad = ev.sad_int_subset(need, cdx, cdy)
@@ -393,18 +431,24 @@ def _pattern_search(
             # The uneven cross + multi-hexagon sweep, applied to blocks the
             # cheaper stages left with a poor match.
             need = np.flatnonzero(cost > 1.5 * block * block)
-            for ox, oy in _umh_offsets(search_range):
-                if need.size == 0:
-                    break
-                cx = np.clip(dx[need] + ox, -search_range, search_range)
-                cy = np.clip(dy[need] + oy, -search_range, search_range)
-                sad = ev.sad_int_subset(need, cx, cy)
-                cand = sad + lambda_mv * _mv_bits_vec(cx, cy, pred_x[need], pred_y[need])
-                better = cand < cost[need] - 1e-9
-                sel = need[better]
-                dx[sel] = cx[better]
-                dy[sel] = cy[better]
-                cost[sel] = cand[better]
+            offset_impl = kernels.override("offset_sweep")
+            if need.size and offset_impl is not None:
+                offset_impl(
+                    ev, need, _umh_offsets(search_range), dx, dy, cost, pred_x, pred_y, lambda_mv
+                )
+            else:
+                for ox, oy in _umh_offsets(search_range):
+                    if need.size == 0:
+                        break
+                    cx = np.clip(dx[need] + ox, -search_range, search_range)
+                    cy = np.clip(dy[need] + oy, -search_range, search_range)
+                    sad = ev.sad_int_subset(need, cx, cy)
+                    cand = sad + lambda_mv * _mv_bits_vec(cx, cy, pred_x[need], pred_y[need])
+                    better = cand < cost[need] - 1e-9
+                    sel = need[better]
+                    dx[sel] = cx[better]
+                    dy[sel] = cy[better]
+                    cost[sel] = cand[better]
         dx, dy, cost = _descend(ev, pattern, dx, dy, cost, pred_x, pred_y, lambda_mv)
         if method in ("hex", "umh"):
             dx, dy, cost = _descend(ev, _SMALL_DIAMOND, dx, dy, cost, pred_x, pred_y, lambda_mv)
@@ -418,7 +462,13 @@ def _pattern_search(
     return mv, sad0.reshape(ev.rows, ev.cols)
 
 
-@lru_cache(maxsize=None)
+#: Module-level memo for :func:`_tiled_sum_mimic_ok`.  The probe verdict is
+#: pure in the block size, and the guard sits on ESA's inner dispatch path,
+#: so the answer is read from a plain dict (one hash + lookup) instead of
+#: paying the ``lru_cache`` wrapper per call.
+_TILED_SUM_MIMIC: dict[int, bool] = {}
+
+
 def _tiled_sum_mimic_ok(block: int) -> bool:
     """True iff per-block row sums plus sequential row accumulation
     reproduce the tiled ``reshape(r, b, c, b).sum(axis=(1, 3))`` reduction
@@ -431,6 +481,14 @@ def _tiled_sum_mimic_ok(block: int) -> bool:
     adversarial-magnitude probe and the slower full-frame path is used if
     the identity ever stops holding.
     """
+    ok = _TILED_SUM_MIMIC.get(block)
+    if ok is None:
+        ok = _TILED_SUM_MIMIC[block] = _tiled_sum_mimic_probe(block)
+    return ok
+
+
+def _tiled_sum_mimic_probe(block: int) -> bool:
+    """Run the adversarial-magnitude summation-order probe for one block size."""
     gen = np.random.default_rng(0x5AD)
     img = np.exp(gen.normal(0.0, 12.0, size=(3 * block, 5 * block)))  # SAD operands are non-negative
     ref = img.reshape(3, block, 5, block).sum(axis=(1, 3)).ravel()
@@ -463,6 +521,8 @@ def _exact_sad_scan(
     indices: np.ndarray,
     pad: int,
     block: int,
+    *,
+    row_px0: int = 0,
 ) -> Iterator[tuple[int, np.ndarray]]:
     """Exact per-macroblock SAD maps for the given displacement indices.
 
@@ -470,6 +530,11 @@ def _exact_sad_scan(
     displacement is a zero-copy slice of the edge-padded reference
     (bit-identical to ``shift_with_edge_pad``) followed by the tiled block
     reduction; the |difference| buffer is reused across displacements.
+
+    ``cur64`` may be a row band of a taller frame starting at pixel row
+    ``row_px0`` of the frame ``refp`` pads; the per-block sums of a band are
+    the same contiguous reductions the full-frame scan computes for those
+    rows, so banding is bit-exact.
     """
     h, w = cur64.shape
     rows8 = h // block
@@ -478,7 +543,8 @@ def _exact_sad_scan(
     for i in indices:
         dx = int(disp_arr[i, 0])
         dy = int(disp_arr[i, 1])
-        np.subtract(cur64, shifted_window(refp, dx, dy, pad, (h, w)), out=buf)
+        shifted = refp[pad - dy + row_px0 : pad - dy + row_px0 + h, pad - dx : pad - dx + w]
+        np.subtract(cur64, shifted, out=buf)
         np.abs(buf, out=buf)
         yield i, buf.reshape(rows8, block, cols8, block).sum(axis=(1, 3))
 
@@ -492,9 +558,17 @@ def _exhaustive_search(
     lambda_mv: float,
     transformed: bool,
     subpel: bool,
+    row0: int = 0,
+    row_count: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Displacement-major full search (ESA), optionally with an SATD
     re-ranking of the top candidates (TESA).
+
+    ``row0``/``row_count`` restrict the search to a band of macroblock rows
+    (results returned for that band only) — the row-sharding hook of the
+    ``sharded`` kernel backend.  Every per-block quantity (screen, exact
+    SAD, penalty, argmin) is computed per macroblock row independently, so
+    a banded call is bit-identical to the matching rows of a full call.
 
     For each displacement the SAD of *every* macroblock is computed at once
     with whole-frame vector ops.  The MV-bit penalty uses the zero-MV
@@ -517,10 +591,30 @@ def _exhaustive_search(
     over it) but re-ranks all (block, candidate) pairs with one batched
     gather + matmul SATD instead of a Python loop per block.
     """
+    if row_count is None:
+        impl = kernels.override("exhaustive_search")
+        if impl is not None:
+            # Full-frame calls dispatch to the active backend; banded calls
+            # (row_count set) are already *inside* a backend and run the
+            # reference body below.
+            return impl(
+                current,
+                reference,
+                search_range=search_range,
+                block=block,
+                lambda_mv=lambda_mv,
+                transformed=transformed,
+                subpel=subpel,
+            )
     h, w = current.shape
-    rows, cols = h // block, w // block
+    full_rows, cols = h // block, w // block
+    if row_count is None:
+        row0 = 0
+        row_count = full_rows
+    rows = row_count
     n = rows * cols
-    cur64 = current.astype(np.float64)
+    row_px0 = row0 * block
+    cur64 = current[row_px0 : row_px0 + rows * block].astype(np.float64)
     ref64 = reference.astype(np.float64)
     pad = search_range
     refp = np.pad(ref64, pad, mode="edge")
@@ -542,7 +636,9 @@ def _exhaustive_search(
         # difference), as x264 does.
         costs = np.empty((n_disp, rows, cols), dtype=np.float64)
         sads = np.empty_like(costs)
-        for i, sad in _exact_sad_scan(cur64, refp, disp_arr, np.arange(n_disp), pad, block):
+        for i, sad in _exact_sad_scan(
+            cur64, refp, disp_arr, np.arange(n_disp), pad, block, row_px0=row_px0
+        ):
             sads[i] = sad
             costs[i] = sad + penalty[i]
         top_k = 5
@@ -553,14 +649,10 @@ def _exhaustive_search(
         # as the scalar loop applied them per block.
         cand = part.reshape(top_k, n)
         cur_blocks = cur64.reshape(rows, block, cols, block).transpose(0, 2, 1, 3).reshape(n, block, block)
-        by = (np.arange(rows) * block).repeat(cols)
+        by = ((row0 + np.arange(rows)) * block).repeat(cols)
         bx = np.tile(np.arange(cols) * block, rows)
-        wp = refp.shape[1]
-        tile = (np.arange(block)[:, None] * wp + np.arange(block)[None, :]).ravel()
-        start = (by[None, :] - disp_arr[cand, 1] + pad) * wp + (bx[None, :] - disp_arr[cand, 0] + pad)
-        ref_blocks = np.take(refp.ravel(), start[:, :, None] + tile[None, None, :]).reshape(
-            top_k, n, block, block
-        )
+        win = sliding_window_view(refp, (block, block))
+        ref_blocks = win[by[None, :] - disp_arr[cand, 1] + pad, bx[None, :] - disp_arr[cand, 0] + pad]
         had = _hadamard_matrix(block)
         satd = np.abs(had @ (cur_blocks[None] - ref_blocks) @ had.T).sum(axis=(2, 3)) / block
         cand_cost = satd + penalty[cand]
@@ -581,10 +673,12 @@ def _exhaustive_search(
         buf32v = buf32.reshape(rows, block, cols, block)
         screen = np.empty((n_disp, rows, cols), dtype=np.float32)
         pen32 = penalty.astype(np.float32)
+        bh = rows * block
         for i in range(n_disp):
             dx = int(disp_arr[i, 0])
             dy = int(disp_arr[i, 1])
-            np.subtract(cur32, shifted_window(refp32, dx, dy, pad, (h, w)), out=buf32)
+            shifted = refp32[pad - dy + row_px0 : pad - dy + row_px0 + bh, pad - dx : pad - dx + w]
+            np.subtract(cur32, shifted, out=buf32)
             np.abs(buf32, out=buf32)
             # einsum instead of sum(axis=(1, 3)): ~3x faster on the strided
             # view, and any summation-order difference is absorbed by delta
@@ -613,23 +707,21 @@ def _exhaustive_search(
             # |candidates| full-frame passes to the actual number of
             # surviving pairs.  The row-sum + sequential accumulation is
             # bit-identical to the tiled reduction (probed above).
-            cur_flat = (
-                cur64.reshape(rows, block, cols, block).transpose(0, 2, 1, 3).reshape(n, block * block)
+            cur_blocks = (
+                cur64.reshape(rows, block, cols, block).transpose(0, 2, 1, 3).reshape(n, block, block)
             )
-            wp = refp.shape[1]
-            ref_flat = refp.ravel()
-            tile = (np.arange(block)[:, None] * wp + np.arange(block)[None, :]).ravel()
-            by = (np.arange(rows) * block).repeat(cols)
+            by = ((row0 + np.arange(rows)) * block).repeat(cols)
             bx = np.tile(np.arange(cols) * block, rows)
-            base0 = (by + pad) * wp + (bx + pad)
+            win = sliding_window_view(refp, (block, block))
             flat_mask = cand_mask.reshape(n_disp, n)
             for i in cand_disp:
                 blocks_i = np.flatnonzero(flat_mask[i])
-                start = base0[blocks_i] - disp_arr[i, 1] * wp - disp_arr[i, 0]
-                diff = np.take(ref_flat, start[:, None] + tile[None, :])
-                np.subtract(cur_flat[blocks_i], diff, out=diff)
+                diff = win[
+                    by[blocks_i] - disp_arr[i, 1] + pad, bx[blocks_i] - disp_arr[i, 0] + pad
+                ]
+                np.subtract(cur_blocks[blocks_i], diff, out=diff)
                 np.abs(diff, out=diff)
-                part = diff.reshape(blocks_i.size, block, block).sum(axis=2)
+                part = diff.sum(axis=2)
                 sad = part[:, 0].copy()
                 for j in range(1, block):
                     sad += part[:, j]
@@ -654,7 +746,9 @@ def _exhaustive_search(
 
     int_mv = disp_arr[best_idx]
     if subpel:
-        ev = _BlockSadEvaluator(current, reference, search_range, block)
+        ev = _BlockSadEvaluator(
+            current[row_px0 : row_px0 + rows * block], reference, search_range, block, row0=row0
+        )
         dx = int_mv[..., 0].ravel()
         dy = int_mv[..., 1].ravel()
         fx, fy = _parabolic_subpel(ev, dx, dy, sad_out.ravel(), block)
@@ -770,37 +864,68 @@ def motion_compensate(reference: np.ndarray, mv: np.ndarray, *, block: int = 16)
     by minus its MV (the content moved *by* the MV to get here); fractional
     MVs use bilinear interpolation, matching the sub-pixel search.
     """
+    impl = kernels.override("motion_compensate")
+    if impl is not None:
+        return impl(reference, mv, block=block)
+    return _motion_compensate_reference(reference, mv, block=block)
+
+
+def _motion_compensate_reference(
+    reference: np.ndarray,
+    mv: np.ndarray,
+    *,
+    block: int = 16,
+    row0: int = 0,
+    row_count: int | None = None,
+    rng: int | None = None,
+) -> np.ndarray:
+    """Reference implementation of :func:`motion_compensate`.
+
+    ``row0``/``row_count`` compensate only a band of macroblock rows (the
+    ``sharded`` backend's unit of work); every block is gathered and blended
+    independently, so banding is bit-exact.  ``rng`` overrides the padding
+    radius — banded callers pass the full-field radius so every worker
+    shares one padded-reference geometry (any radius covering the band's
+    MVs reads the same edge-replicated pixels, but sharing one keeps the
+    arithmetic transparently identical).
+    """
     reference = np.asarray(reference, dtype=np.float32)
-    rows, cols = mv.shape[0], mv.shape[1]
-    rng = int(np.ceil(np.abs(mv).max())) + 2
+    full_rows, cols = mv.shape[0], mv.shape[1]
+    if row_count is None:
+        row0 = 0
+        row_count = full_rows
+    rows = row_count
+    if rng is None:
+        rng = int(np.ceil(np.abs(mv).max())) + 2
+    mv = mv[row0 : row0 + rows]
     ref_pad = np.pad(reference.astype(np.float64), rng, mode="edge")
-    h, w = reference.shape
+    w = reference.shape[1]
     n = rows * cols
-    # One flat gather per bilinear tap instead of a Python loop over
-    # macroblocks; integer MVs need only the single p00 tap.  Tap positions
-    # and blend weights replicate interpolated_block exactly, so each output
-    # pixel is the same float64 value (and the same float32 after the final
-    # cast) the per-block loop produced.
+    # One sliding-window gather per bilinear tap instead of a Python loop
+    # over macroblocks; integer MVs need only the single p00 tap.  Tap
+    # positions and blend weights replicate interpolated_block exactly, so
+    # each output pixel is the same float64 value (and the same float32
+    # after the final cast) the per-block loop produced.
     mvx = mv[..., 0].astype(np.float64).ravel()
     mvy = mv[..., 1].astype(np.float64).ravel()
     fdx = np.floor(mvx).astype(np.int64)
     fdy = np.floor(mvy).astype(np.int64)
     ax = mvx - fdx
     ay = mvy - fdy
-    by = (np.arange(rows) * block).repeat(cols)
+    by = ((row0 + np.arange(rows)) * block).repeat(cols)
     bx = np.tile(np.arange(cols) * block, rows)
-    wp = ref_pad.shape[1]
-    ref_flat = ref_pad.ravel()
-    tile = (np.arange(block)[:, None] * wp + np.arange(block)[None, :]).ravel()
-    idx00 = ((by - fdy + rng) * wp + (bx - fdx + rng))[:, None] + tile[None, :]
-    blocks = np.take(ref_flat, idx00).reshape(n, block, block)
+    win = sliding_window_view(ref_pad, (block, block))
+    r00 = by - fdy + rng
+    c00 = bx - fdx + rng
+    blocks = win[r00, c00]
     frac = np.flatnonzero((ax != 0.0) | (ay != 0.0))
     if frac.size:
-        idxf = idx00[frac]
+        rf = r00[frac]
+        cf = c00[frac]
         p00 = blocks[frac]
-        p01 = np.take(ref_flat, idxf - 1).reshape(frac.size, block, block)
-        p10 = np.take(ref_flat, idxf - wp).reshape(frac.size, block, block)
-        p11 = np.take(ref_flat, idxf - wp - 1).reshape(frac.size, block, block)
+        p01 = win[rf, cf - 1]
+        p10 = win[rf - 1, cf]
+        p11 = win[rf - 1, cf - 1]
         axf = ax[frac][:, None, None]
         ayf = ay[frac][:, None, None]
         blocks[frac] = (
@@ -810,7 +935,10 @@ def motion_compensate(reference: np.ndarray, mv: np.ndarray, *, block: int = 16)
             + ayf * axf * p11
         )
     return (
-        blocks.reshape(rows, cols, block, block).transpose(0, 2, 1, 3).reshape(h, w).astype(np.float32)
+        blocks.reshape(rows, cols, block, block)
+        .transpose(0, 2, 1, 3)
+        .reshape(rows * block, w)
+        .astype(np.float32)
     )
 
 

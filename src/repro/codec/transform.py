@@ -16,6 +16,8 @@ from __future__ import annotations
 import numpy as np
 from scipy.fft import dctn, idctn
 
+from repro import kernels
+
 __all__ = [
     "QuantBitCounter",
     "dct_blocks",
@@ -46,6 +48,15 @@ def dct_blocks(plane: np.ndarray) -> np.ndarray:
     Returns an array shaped ``(rows8, 8, cols8, 8)`` — block-major layout
     that quantisation and bit counting operate on directly.
     """
+    impl = kernels.override("dct_blocks")
+    if impl is not None:
+        return impl(plane)
+    return _dct_blocks_reference(plane)
+
+
+def _dct_blocks_reference(plane: np.ndarray) -> np.ndarray:
+    """Reference implementation of :func:`dct_blocks` (each 8x8 block is
+    transformed independently, so row-band shards concatenate exactly)."""
     h, w = plane.shape
     if h % _TRANSFORM or w % _TRANSFORM:
         raise ValueError(f"plane shape {plane.shape} not a multiple of {_TRANSFORM}")
@@ -78,6 +89,17 @@ def quantize(coeffs: np.ndarray, qp_per_mb: np.ndarray, *, mb_size: int = 16) ->
         ``(mb_rows, mb_cols)`` QP values (floats allowed; typically base QP
         plus DiVE's offset map).
     """
+    impl = kernels.override("quantize")
+    if impl is not None:
+        return impl(coeffs, qp_per_mb, mb_size=mb_size)
+    return _quantize_reference(coeffs, qp_per_mb, mb_size=mb_size)
+
+
+def _quantize_reference(
+    coeffs: np.ndarray, qp_per_mb: np.ndarray, *, mb_size: int = 16
+) -> np.ndarray:
+    """Reference implementation of :func:`quantize` (per-block scalar step,
+    so macroblock-row shards are bit-exact)."""
     q = _expand_qstep(np.asarray(qp_per_mb, dtype=float), mb_size)
     if q.shape != (coeffs.shape[0], coeffs.shape[2]):
         raise ValueError(
@@ -89,6 +111,16 @@ def quantize(coeffs: np.ndarray, qp_per_mb: np.ndarray, *, mb_size: int = 16) ->
 
 def dequantize(levels: np.ndarray, qp_per_mb: np.ndarray, *, mb_size: int = 16) -> np.ndarray:
     """Rescale quantised levels back to coefficient magnitudes."""
+    impl = kernels.override("dequantize")
+    if impl is not None:
+        return impl(levels, qp_per_mb, mb_size=mb_size)
+    return _dequantize_reference(levels, qp_per_mb, mb_size=mb_size)
+
+
+def _dequantize_reference(
+    levels: np.ndarray, qp_per_mb: np.ndarray, *, mb_size: int = 16
+) -> np.ndarray:
+    """Reference implementation of :func:`dequantize`."""
     q = _expand_qstep(np.asarray(qp_per_mb, dtype=float), mb_size)
     return levels * q[:, None, :, None]
 
@@ -161,7 +193,16 @@ class QuantBitCounter:
         self._offsets, inverse = np.unique(block_offs, return_inverse=True)
         order = np.argsort(inverse, kind="stable")
         counts = np.bincount(inverse, minlength=self._offsets.size)
-        self._group_mags = np.split(mag[order], np.cumsum(counts)[:-1])
+        group_mags = np.split(mag[order], np.cumsum(counts)[:-1])
+        # Probe-time accelerators: each group's magnitudes sorted ascending
+        # (so a probe only divides the coefficients that can still quantise
+        # to a non-zero level) and the per-8x8-block magnitude maxima (a
+        # block carries coefficients iff its *largest* magnitude rounds to a
+        # non-zero level — rounding is monotone).
+        self._group_sorted = [np.sort(g, axis=None) for g in group_mags]
+        self._group_block_max = [
+            g.max(axis=1) if g.size else np.zeros(0, dtype=np.float64) for g in group_mags
+        ]
         self._cache: dict[tuple[int, float], float] = {}
 
     def bits_at(self, qp: float) -> float:
@@ -178,9 +219,30 @@ class QuantBitCounter:
         return total
 
     def _group_bits(self, gi: int, eff_qp: float) -> float:
-        mags = self._group_mags[gi]
-        level_mag = np.round(np.divide(mags, qstep(eff_qp)))
-        bits = np.where(level_mag > 0, 2.0 * np.floor(np.log2(np.maximum(level_mag, 1.0))) + 3.0, 0.0)
-        coeff_bits = bits.sum(axis=1)
-        per_block = coeff_bits + np.where(coeff_bits > 0, _BLOCK_OVERHEAD_BITS, _SKIP_BLOCK_BITS)
-        return float(per_block.sum())
+        q = qstep(eff_qp)
+        # Coefficient bits: only magnitudes with round(mag/q) >= 1 cost
+        # anything, which requires mag/q >= 0.5 after the IEEE divide, so
+        # mag >= 0.25*q is a safe superset cutoff (the divide perturbs the
+        # real ratio by at most one ulp).  Division by a positive scalar is
+        # monotone, so the sorted order survives and a binary search finds
+        # the candidate suffix.
+        sorted_mags = self._group_sorted[gi]
+        lo = int(np.searchsorted(sorted_mags, 0.25 * float(q), side="left"))
+        level_mag = np.round(np.divide(sorted_mags[lo:], q))
+        # The quantised magnitudes are exact non-negative integers in
+        # float64, so ``floor(log2(m))`` equals ``frexp(m).exponent - 1``
+        # exactly — the frexp form costs bit tricks instead of a
+        # whole-array transcendental.
+        exponent = np.frexp(level_mag)[1]
+        coeff_bits = float(np.where(level_mag > 0, 2.0 * (exponent - 1) + 3.0, 0.0).sum())
+        # Block overhead: a block carries coefficients iff its largest
+        # magnitude quantises to a non-zero level (division and round are
+        # monotone), so one divide over the per-block maxima classifies
+        # every block.
+        block_max = self._group_block_max[gi]
+        nz_blocks = int(np.count_nonzero(np.round(np.divide(block_max, q)) > 0))
+        return (
+            coeff_bits
+            + _BLOCK_OVERHEAD_BITS * nz_blocks
+            + _SKIP_BLOCK_BITS * (block_max.size - nz_blocks)
+        )

@@ -40,6 +40,7 @@ from repro.experiments.reporting import format_table, print_table
 from repro.experiments.scalability import ScalabilityResult, replay_shared_server, run_scalability
 from repro.experiments.runner import (
     EvaluationResult,
+    activate_kernel_backend,
     evaluate_run,
     flight_recorder_for,
     ground_truth_for,
@@ -58,6 +59,7 @@ __all__ = [
     "EndToEndResult",
     "EvaluationResult",
     "ExperimentConfig",
+    "activate_kernel_backend",
     "ForegroundQualityResult",
     "KSweepResult",
     "MEMethodResult",

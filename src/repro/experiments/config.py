@@ -103,6 +103,18 @@ class ExperimentConfig:
         burst, sustained queue saturation, sanitizer errors).
         :func:`repro.experiments.runner.flight_recorder_for` turns this
         into a recorder instance.
+    kernel_backend:
+        Which :mod:`repro.kernels` backend runs the codec hot kernels:
+        ``numpy`` (the reference, default), ``sharded``
+        (multiprocess row sharding), ``cext`` (runtime-compiled C) or
+        ``numba`` (optional JIT).  Every backend is bit-exact by
+        contract, so results are identical — only wall-clock changes.
+        :func:`repro.experiments.runner.activate_kernel_backend` applies
+        this before a run (and before any stream/fleet threads start —
+        the pool-ownership rule).
+    kernel_workers:
+        Worker-process count for the ``sharded`` backend (ignored by the
+        others).
     """
 
     n_clips: int = 3
@@ -117,6 +129,8 @@ class ExperimentConfig:
     stream_deadline: float | None = None
     metrics: bool = False
     flight_recorder: bool = False
+    kernel_backend: str = "numpy"
+    kernel_workers: int = 2
 
     def stream_config(self):
         """The :class:`repro.stream.StreamConfig` these knobs describe, or

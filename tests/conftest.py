@@ -17,6 +17,7 @@ import hashlib
 
 import pytest
 
+from repro import kernels
 from repro.core import DiVEScheme
 from repro.experiments import ground_truth_for, run_scheme, scaled_bandwidth
 from repro.network import constant_trace
@@ -63,17 +64,42 @@ def golden_ground_truth(golden_clips):
     return [ground_truth_for(clip) for clip in golden_clips]
 
 
-@pytest.fixture(scope="session")
-def golden_batch_run(golden_clips, golden_ground_truth):
-    """One traced synchronous DiVE run over the golden clip set."""
+def run_golden_batch(clips, ground_truths):
+    """One traced synchronous DiVE run over a golden-style clip set.
+
+    Shared by the session fixture below and by the per-backend golden
+    digest tests, which re-run it under each registered kernel backend.
+    """
     tracer = Tracer()
     results = []
-    for clip, gt in zip(golden_clips, golden_ground_truth):
+    for clip, gt in zip(clips, ground_truths):
         trace = constant_trace(scaled_bandwidth(GOLDEN_BANDWIDTH_MBPS, clip))
         results.append(
             run_scheme(DiVEScheme(), clip, trace, ground_truth=gt, tracer=tracer)
         )
     return results, tracer
+
+
+@pytest.fixture(scope="session")
+def golden_batch_run(golden_clips, golden_ground_truth):
+    """One traced synchronous DiVE run over the golden clip set."""
+    return run_golden_batch(golden_clips, golden_ground_truth)
+
+
+@pytest.fixture(params=kernels.registered_backends())
+def kernel_backend(request):
+    """Activate each registered kernel backend in turn (skip unavailable).
+
+    Applying ``@pytest.mark.usefixtures("kernel_backend")`` to a test (or
+    class) re-runs it under every backend — the bit-exactness contract says
+    the assertions must hold unchanged.
+    """
+    name = request.param
+    if name not in kernels.available_backends():
+        reason = kernels.backend(name).why_unavailable() or "unavailable"
+        pytest.skip(f"kernel backend {name!r}: {reason}")
+    with kernels.use_backend(name):
+        yield name
 
 
 def pytest_configure(config):

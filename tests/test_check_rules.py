@@ -163,6 +163,20 @@ FIXTURES = {
             "    return batcher.serve(requests)\n"
         ),
     ),
+    "S017": (
+        "src/repro/experiments/x.py",
+        (
+            "from repro.codec.motion import _exhaustive_search\n"
+            "def search(cur, ref):\n"
+            "    return _exhaustive_search(cur, ref, search_range=8, block=16,\n"
+            "                              lambda_mv=4.0, transformed=False, subpel=True)\n"
+        ),
+        (
+            "from repro.codec.motion import estimate_motion\n"
+            "def search(cur, ref):\n"
+            "    return estimate_motion(cur, ref, method='esa', search_range=8)\n"
+        ),
+    ),
     "S014": (
         "src/repro/codec/x.py",
         (
@@ -228,6 +242,18 @@ class TestRuleDetails:
         src = "import time\nstart = time.time()\n"
         assert check_source(src, path="src/repro/codec/x.py")
         assert check_source(src, path="src/repro/analysis/x.py") == []
+
+    def test_kernel_internals_allowed_at_dispatch_sites_and_backends(self):
+        # codec/ holds the dispatch seams and kernels/ the backends — the
+        # two places that legitimately call the extracted internals.
+        src = "def f(ev, args):\n    return _descend_reference(ev, *args)\n"
+        assert check_source(src, path="src/repro/codec/motion.py") == []
+        assert check_source(src, path="src/repro/kernels/sharded.py") == []
+        assert "S017" in {f.rule for f in check_source(src, path="src/repro/fleet/x.py")}
+
+    def test_kernel_evaluator_construction_flagged_outside_codec(self):
+        src = "from repro.codec.motion import _BlockSadEvaluator\nev = _BlockSadEvaluator(c, r, 8, 16)\n"
+        assert "S017" in {f.rule for f in check_source(src, path="src/repro/stream/x.py")}
 
     def test_qp_bounds_in_comparison_and_call(self):
         assert check_source("ok = qp > 60\n", path="a.py")[0].rule == "S004"

@@ -16,7 +16,10 @@ policy, a detector recalibration), rerun with ``-s`` to print the new
 digest and update ``GOLDEN_DIGEST`` in the same PR, stating why.
 """
 
-from conftest import GOLDEN_CLIP_SEEDS, GOLDEN_N_FRAMES, e2e_digest
+import pytest
+from conftest import GOLDEN_CLIP_SEEDS, GOLDEN_N_FRAMES, e2e_digest, run_golden_batch
+
+from repro import kernels
 
 N_CLIPS = len(GOLDEN_CLIP_SEEDS)
 N_FRAMES = GOLDEN_N_FRAMES
@@ -44,4 +47,21 @@ def test_golden_digest(golden_batch_run):
         "reproduces the locked per-frame bytes/QP/detections. If the "
         f"change is intentional, update GOLDEN_DIGEST to {digest!r} and "
         "explain the drift in the PR."
+    )
+
+
+@pytest.mark.parametrize(
+    "backend_name", [n for n in kernels.registered_backends() if n != "numpy"]
+)
+def test_golden_digest_every_backend(backend_name, golden_clips, golden_ground_truth):
+    """Kernel backends are bit-exact by contract: the *same* golden digest
+    must fall out of the full pipeline under every one of them."""
+    if backend_name not in kernels.available_backends():
+        reason = kernels.backend(backend_name).why_unavailable() or "unavailable"
+        pytest.skip(f"kernel backend {backend_name!r}: {reason}")
+    with kernels.use_backend(backend_name):
+        results, tracer = run_golden_batch(golden_clips, golden_ground_truth)
+    assert e2e_digest(results, tracer) == GOLDEN_DIGEST, (
+        f"kernel backend {backend_name!r} broke bit-exactness: its golden "
+        "digest differs from the numpy reference"
     )
